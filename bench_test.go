@@ -1,0 +1,273 @@
+// Benchmarks regenerating every table and figure in the paper's
+// evaluation (§5), plus micro-benchmarks of the core algorithms and the
+// ablations called out in DESIGN.md. Each figure benchmark runs the full
+// scenario and reports the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// both exercises the harness and prints the reproduced numbers.
+package qav
+
+import (
+	"fmt"
+	"testing"
+
+	"qav/internal/core"
+	"qav/internal/figures"
+	"qav/internal/scenario"
+	"qav/internal/sim"
+)
+
+// BenchmarkFigure1 regenerates Fig 1: the sawtooth transmission rate of
+// a single RAP flow hunting around the bottleneck bandwidth.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Get("avg_rate"), "B/s_avg-rate")
+		b.ReportMetric(res.Get("backoffs"), "backoffs")
+	}
+}
+
+// BenchmarkFigure2 regenerates Fig 2: filling and draining phases with
+// receiver buffering on a single quality-adaptive flow.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Get("max_layers"), "layers_max")
+		b.ReportMetric(res.Get("backoffs"), "backoffs")
+		b.ReportMetric(res.Get("stall_sec"), "s_stalled")
+	}
+}
+
+// BenchmarkFigure11 regenerates Fig 11: the first 40 seconds of the T1
+// trace at Kmax=2 — rates, per-layer breakdown, drain rates, buffers.
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Figure11(2, figures.DefaultScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Get("avg_layers"), "layers_avg")
+		b.ReportMetric(res.Get("buf_l0_avg"), "B_buf-l0")
+		b.ReportMetric(res.Get("buf_l3_avg"), "B_buf-l3")
+		b.ReportMetric(res.Get("stall_sec"), "s_stalled")
+	}
+}
+
+// BenchmarkFigure12 regenerates Fig 12: the effect of Kmax in {2,3,4} on
+// buffering and the number of quality changes.
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Figure12(figures.DefaultScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range []int{2, 3, 4} {
+			b.ReportMetric(res.Get(fname("kmax%d.changes", k)), fname("changes_k%d", k))
+			b.ReportMetric(res.Get(fname("kmax%d.buf_avg", k)), fname("B_buf_k%d", k))
+		}
+	}
+}
+
+// BenchmarkFigure13 regenerates Fig 13: responsiveness to a CBR source
+// at half the bottleneck bandwidth (on at 30s, off at 60s), Kmax=4.
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Figure13(figures.DefaultScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Get("layers_before"), "layers_before")
+		b.ReportMetric(res.Get("layers_during"), "layers_during")
+		b.ReportMetric(res.Get("layers_after"), "layers_after")
+		b.ReportMetric(res.Get("stall_sec"), "s_stalled")
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: average buffering efficiency e
+// over drop events for Kmax in {2,3,4,5,8} on tests T1 and T2.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := figures.TablesSweep(nil, figures.DefaultScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Drops > 0 {
+				b.ReportMetric(100*c.AvgEfficiency, fname("pct_eff_%s_k%d", c.Test, c.Kmax))
+			}
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: the percentage of layer drops
+// caused by poor inter-layer buffer distribution.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := figures.TablesSweep(nil, figures.DefaultScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Drops > 0 {
+				b.ReportMetric(c.PoorDistPct, fname("pct_poor_%s_k%d", c.Test, c.Kmax))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationDropTailVsRED compares the bottleneck queue
+// disciplines (the paper's future-work variant): loss clustering under
+// DropTail vs RED and its effect on the QA flow's quality changes.
+func BenchmarkAblationDropTailVsRED(b *testing.B) {
+	for _, red := range []bool{false, true} {
+		name := "droptail"
+		if red {
+			name = "red"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := scenario.T1(2, figures.DefaultScale)
+				cfg.Duration = 60
+				cfg.UseRED = red
+				res, err := scenario.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Stats.Adds+res.Stats.Drops), "changes")
+				b.ReportMetric(100*res.Stats.AvgEfficiency, "pct_eff")
+				b.ReportMetric(res.Series.Get("qa.layers").AvgBetween(20, 60), "layers_avg")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAllocation compares the paper's optimal inter-layer
+// buffer allocation against §2.3's two strawmen under T2's CBR stress.
+func BenchmarkAblationAllocation(b *testing.B) {
+	for _, alloc := range []core.Allocation{core.AllocOptimal, core.AllocEqual, core.AllocBase} {
+		b.Run(alloc.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := scenario.T2(3, figures.DefaultScale)
+				cfg.QA.Alloc = alloc
+				res, err := scenario.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*res.Stats.AvgEfficiency, "pct_eff")
+				b.ReportMetric(res.Stats.PoorDistPct, "pct_poor")
+				b.ReportMetric(res.StallSec, "s_stalled")
+			}
+		})
+	}
+}
+
+// BenchmarkPickLayer measures the per-packet fine-grain allocation cost
+// (the hot path of a streaming server).
+func BenchmarkPickLayer(b *testing.B) {
+	ctrl, err := core.NewController(core.Params{C: 10_000, Kmax: 2, MaxLayers: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer := ctrl.PickLayer(now, 60_000, 25_000, 512)
+		ctrl.OnDelivered(now, layer, 512)
+		now += 512.0 / 60_000
+	}
+}
+
+// BenchmarkStateLadder measures building the maximally efficient state
+// sequence (runs on every draining-phase replan).
+func BenchmarkStateLadder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		core.StateLadder(60_000, 6, 0, 8, 10_000, 25_000)
+	}
+}
+
+// BenchmarkFillTarget measures the per-packet SendPacket scan.
+func BenchmarkFillTarget(b *testing.B) {
+	bufs := []float64{9000, 6000, 3000, 800, 0, 0}
+	for i := 0; i < b.N; i++ {
+		core.FillTarget(60_000, bufs, 10_000, 25_000, 8)
+	}
+}
+
+// BenchmarkDrainPlan measures the reverse-path drain allocation.
+func BenchmarkDrainPlan(b *testing.B) {
+	ladder := core.StateLadder(40_000, 6, 0, 8, 10_000, 25_000)
+	bufs := []float64{9000, 6000, 3000, 800, 200, 50}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.DrainPlan(ladder, bufs, 1500, 500)
+	}
+}
+
+// BenchmarkSimulator measures raw event throughput of the discrete-event
+// engine with a saturated link.
+func BenchmarkSimulator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		q := sim.NewDropTail(1 << 16)
+		l := sim.NewLink(eng, q, 1e6, 0.001)
+		sink := sim.ReceiverFunc(func(p *sim.Packet) {})
+		var feed func()
+		n := 0
+		feed = func() {
+			if n >= 10_000 {
+				return
+			}
+			n++
+			l.Offer(&sim.Packet{Seq: int64(n), Size: 512, Dst: sink})
+			eng.After(0.0004, feed)
+		}
+		eng.At(0, feed)
+		eng.Run()
+	}
+}
+
+func fname(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// BenchmarkAblationFineGrainRAP compares RAP-vs-TCP bandwidth sharing
+// with and without RAP's fine-grain inter-ACK adaptation (the variant
+// the paper sets aside). Fine grain eases off as queues build, which
+// narrows the RAP:TCP goodput ratio.
+func BenchmarkAblationFineGrainRAP(b *testing.B) {
+	for _, fg := range []bool{false, true} {
+		name := "coarse"
+		if fg {
+			name = "finegrain"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := scenario.T1(2, figures.DefaultScale)
+				cfg.Duration = 60
+				cfg.FineGrainRAP = fg
+				res, err := scenario.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var rapG, tcpG int64
+				for _, r := range res.RAPSrcs {
+					rapG += r.RecvBytes
+				}
+				for _, s := range res.TCPSrcs {
+					tcpG += s.GoodputBytes()
+				}
+				rapAvg := float64(rapG) / float64(len(res.RAPSrcs))
+				tcpAvg := float64(tcpG) / float64(len(res.TCPSrcs))
+				b.ReportMetric(rapAvg/tcpAvg, "rap/tcp_ratio")
+				b.ReportMetric(res.Series.Get("qa.layers").AvgBetween(20, 60), "layers_avg")
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+// Command qafig regenerates the paper's figures and tables from the
+// simulator and prints them as commented TSV (figures) or aligned text
+// (tables).
+//
+// Usage:
+//
+//	qafig -fig 1            # Fig 1: single RAP sawtooth
+//	qafig -fig 2            # Fig 2: filling/draining demonstration
+//	qafig -fig 11           # Fig 11: detailed T1 trace (Kmax=2)
+//	qafig -fig 12           # Fig 12: effect of Kmax
+//	qafig -fig 13           # Fig 13: CBR-burst responsiveness
+//	qafig -tables           # Tables 1 and 2 (Kmax sweep over T1/T2)
+//	qafig -all              # everything, summaries only
+//	qafig -fig 11 -scale 1  # raw 800 Kb/s parameterization
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"qav/internal/figures"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (1, 2, 11, 12, 13)")
+	tables := flag.Bool("tables", false, "regenerate Tables 1 and 2")
+	all := flag.Bool("all", false, "regenerate everything (summaries only)")
+	scale := flag.Float64("scale", figures.DefaultScale, "bottleneck scale factor (8 = paper figure axes)")
+	kmax := flag.Int("kmax", 2, "smoothing factor for -fig 11")
+	out := flag.String("out", "", "write output to file instead of stdout")
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch {
+	case *all:
+		if err := runAll(w, *scale); err != nil {
+			fatal(err)
+		}
+	case *tables:
+		cells, err := figures.TablesSweep(nil, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		if err := figures.RenderTables(w, cells); err != nil {
+			fatal(err)
+		}
+	case *fig != 0:
+		res, err := runFigure(*fig, *kmax, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Render(w); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runFigure(fig, kmax int, scale float64) (*figures.Result, error) {
+	switch fig {
+	case 1:
+		return figures.Figure1()
+	case 2:
+		return figures.Figure2()
+	case 11:
+		return figures.Figure11(kmax, scale)
+	case 12:
+		return figures.Figure12(scale)
+	case 13:
+		return figures.Figure13(scale)
+	default:
+		return nil, fmt.Errorf("unknown figure %d (have 1, 2, 11, 12, 13)", fig)
+	}
+}
+
+func runAll(w io.Writer, scale float64) error {
+	for _, fig := range []int{1, 2, 11, 12, 13} {
+		res, err := runFigure(fig, 2, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "## %s\n", res.Name)
+		for _, f := range res.Summary {
+			fmt.Fprintf(w, "# %-28s %12.3f   %s\n", f.Key, f.Value, f.Note)
+		}
+		fmt.Fprintln(w)
+	}
+	cells, err := figures.TablesSweep(nil, scale)
+	if err != nil {
+		return err
+	}
+	return figures.RenderTables(w, cells)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qafig:", err)
+	os.Exit(1)
+}

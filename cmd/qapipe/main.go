@@ -1,0 +1,60 @@
+// Command qapipe is a UDP network emulator: it relays datagrams between
+// a client and a qaserver while imposing bandwidth, delay, and loss,
+// standing in for a congested Internet path on loopback.
+//
+// Example (60 KB/s bottleneck, 40 ms RTT, 1% loss on the data path):
+//
+//	qapipe -listen 127.0.0.1:9100 -server 127.0.0.1:9000 \
+//	       -down-rate 60000 -down-delay 20ms -up-delay 20ms -down-loss 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"qav/internal/netio"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9100", "client-facing UDP address")
+	server := flag.String("server", "127.0.0.1:9000", "qaserver UDP address")
+	downRate := flag.Float64("down-rate", 0, "server->client rate limit, bytes/s (0 = none)")
+	downDelay := flag.Duration("down-delay", 0, "server->client one-way delay")
+	downLoss := flag.Float64("down-loss", 0, "server->client loss probability")
+	downQueue := flag.Int("down-queue", 32<<10, "server->client queue, bytes")
+	upRate := flag.Float64("up-rate", 0, "client->server rate limit, bytes/s (0 = none)")
+	upDelay := flag.Duration("up-delay", 0, "client->server one-way delay")
+	upLoss := flag.Float64("up-loss", 0, "client->server loss probability")
+	seed := flag.Int64("seed", 1, "loss RNG seed")
+	flag.Parse()
+
+	pipe, err := netio.NewPipe(*listen, *server,
+		netio.PipeConfig{Rate: *upRate, Delay: *upDelay, Loss: *upLoss},
+		netio.PipeConfig{Rate: *downRate, Delay: *downDelay, Loss: *downLoss, QueueBytes: *downQueue},
+		*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qapipe:", err)
+		os.Exit(1)
+	}
+	defer pipe.Close()
+
+	fmt.Printf("qapipe: %s <-> %s (down: %.0f B/s, %v, loss %.2f)\n",
+		pipe.Addr(), *server, *downRate, *downDelay, *downLoss)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Printf("qapipe: drops up=%d down=%d\n", pipe.UpDrops, pipe.DownDrops)
+			return
+		case <-tick.C:
+			fmt.Printf("qapipe: drops up=%d down=%d\n", pipe.UpDrops, pipe.DownDrops)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command qaserver streams layered video data over UDP with RAP
+// congestion control and quality adaptation, serving one client at a
+// time. Pair it with qaclient.
+//
+// Example:
+//
+//	qaserver -listen 127.0.0.1:9000 -c 20000 -kmax 2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"qav/internal/core"
+	"qav/internal/netio"
+	"qav/internal/rap"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9000", "UDP listen address")
+	c := flag.Float64("c", 20_000, "per-layer consumption rate, bytes/s")
+	kmax := flag.Int("kmax", 2, "smoothing factor")
+	layers := flag.Int("layers", 8, "maximum encoded layers")
+	pkt := flag.Int("pkt", 512, "packet size, bytes")
+	maxRate := flag.Float64("max-rate", 0, "cap on transmission rate, bytes/s (0 = none)")
+	once := flag.Bool("once", false, "serve a single stream then exit")
+	flag.Parse()
+
+	la, err := net.ResolveUDPAddr("udp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Printf("qaserver: listening on %s (C=%.0f B/s, Kmax=%d, %d layers)\n",
+		conn.LocalAddr(), *c, *kmax, *layers)
+
+	for {
+		srv, err := netio.NewServer(conn, netio.ServerConfig{
+			QA: core.Params{C: *c, Kmax: *kmax, MaxLayers: *layers, StartupSec: 0.5},
+			RAP: rap.Config{
+				PacketSize: *pkt,
+				MaxRate:    *maxRate,
+				InitialRTT: 0.05,
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		err = srv.Serve(ctx)
+		st := srv.Stats()
+		fmt.Printf("qaserver: stream done in %.1fs: sent=%d acked=%d backoffs=%d layers=%d rate=%.0fB/s err=%v\n",
+			time.Since(start).Seconds(), st.SentPkts, st.AckedPkts, st.Backoffs,
+			st.ActiveLayers, st.Rate, err)
+		if ctx.Err() != nil || *once {
+			return
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qaserver:", err)
+	os.Exit(1)
+}

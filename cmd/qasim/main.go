@@ -1,0 +1,90 @@
+// Command qasim runs a single custom quality adaptation simulation and
+// dumps its traces and event log.
+//
+// Example:
+//
+//	qasim -bw 800000 -rtt 0.04 -tcp 10 -rap 9 -kmax 2 -dur 60 -c 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qav/internal/core"
+	"qav/internal/scenario"
+)
+
+func main() {
+	bw := flag.Float64("bw", 800_000, "bottleneck bandwidth, bytes/s")
+	rtt := flag.Float64("rtt", 0.04, "base round-trip time, seconds")
+	queue := flag.Float64("queue", 0.12, "bottleneck queue, seconds of bandwidth")
+	red := flag.Bool("red", false, "use RED instead of DropTail at the bottleneck")
+	ntcp := flag.Int("tcp", 10, "number of competing Sack-TCP flows")
+	nrap := flag.Int("rap", 9, "number of competing plain RAP flows")
+	cbrFrac := flag.Float64("cbr", 0, "CBR burst rate as a fraction of bw (0 = none)")
+	cbrStart := flag.Float64("cbr-start", 30, "CBR start time, s")
+	cbrStop := flag.Float64("cbr-stop", 60, "CBR stop time, s")
+	c := flag.Float64("c", 10_000, "per-layer consumption rate, bytes/s")
+	kmax := flag.Int("kmax", 2, "smoothing factor")
+	maxLayers := flag.Int("layers", 8, "maximum encoded layers")
+	dur := flag.Float64("dur", 60, "simulated duration, seconds")
+	pkt := flag.Int("pkt", 512, "packet size, bytes")
+	tsv := flag.Bool("tsv", false, "dump full time series as TSV")
+	events := flag.Bool("events", false, "dump the controller event log")
+	flag.Parse()
+
+	cfg := scenario.Config{
+		Name:           "custom",
+		BottleneckRate: *bw,
+		LinkDelay:      *rtt / 4,
+		AccessDelay:    *rtt / 8,
+		QueueBytes:     int(*bw * *queue),
+		UseRED:         *red,
+		PacketSize:     *pkt,
+		NumTCP:         *ntcp,
+		NumRAP:         *nrap,
+		WithQA:         true,
+		QA: core.Params{
+			C:         *c,
+			Kmax:      *kmax,
+			MaxLayers: *maxLayers,
+		},
+		Duration:       *dur,
+		SampleInterval: 0.1,
+	}
+	if *cbrFrac > 0 {
+		cfg.CBRRate = *cbrFrac * *bw
+		cfg.CBRStart = *cbrStart
+		cfg.CBRStop = *cbrStop
+	}
+
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qasim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# %s: bw=%.0fB/s rtt=%.0fms C=%.0fB/s Kmax=%d flows=1QA+%dRAP+%dTCP\n",
+		cfg.Name, cfg.BottleneckRate, 1000*(2*(cfg.LinkDelay+cfg.AccessDelay)), *c, *kmax, *nrap, *ntcp)
+	fmt.Printf("# qa: avg_rate=%.0f avg_layers=%.2f played=%.1fs stalls=%.2fs\n",
+		res.Series.Get("qa.rate").Avg(),
+		res.Series.Get("qa.layers").Avg(),
+		res.PlayedSec, res.StallSec)
+	fmt.Printf("# events: adds=%d drops=%d backoffs=%d efficiency=%.2f%% poor-dist=%.1f%%\n",
+		res.Stats.Adds, res.Stats.Drops, res.Stats.Backoffs,
+		100*res.Stats.AvgEfficiency, res.Stats.PoorDistPct)
+
+	if *events {
+		for _, e := range res.Events {
+			fmt.Printf("%8.3f %-8s layer=%d rate=%.0f bufdrop=%.0f buftotal=%.0f poor=%v\n",
+				e.Time, e.Kind, e.Layer, e.Rate, e.BufDrop, e.BufTotal, e.PoorDist)
+		}
+	}
+	if *tsv {
+		if err := res.Series.WriteTSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "qasim:", err)
+			os.Exit(1)
+		}
+	}
+}

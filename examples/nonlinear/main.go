@@ -1,0 +1,52 @@
+// Nonlinear: the paper's §7 future work, computed — optimal inter-layer
+// buffer allocation when enhancement layers have unequal (here
+// exponentially spaced) rates. Shows the buffer-requirement ladder for
+// a linear codec and an exponential one side by side: the geometry is
+// the same, but the exponential codec concentrates even more protection
+// on the cheap low layers.
+//
+//	go run ./examples/nonlinear
+package main
+
+import (
+	"fmt"
+
+	"qav/internal/core"
+)
+
+func main() {
+	const (
+		R = 60_000.0 // transmission rate before backoff, B/s
+		S = 25_000.0 // AIMD recovery slope, B/s²
+	)
+	linear := []float64{10_000, 10_000, 10_000, 10_000}
+	expo := []float64{5_000, 7_500, 11_250, 16_875} // 1.5x spacing, same total
+
+	fmt.Println("nonlinear: optimal buffer ladders at R=60 KB/s, S=25 KB/s²")
+	for _, cfg := range []struct {
+		name  string
+		rates []float64
+	}{{"linear 4x10 KB/s", linear}, {"exponential 5/7.5/11.25/16.9 KB/s", expo}} {
+		fmt.Printf("\n  %s (total %.0f B/s):\n", cfg.name, core.TotalRateN(cfg.rates))
+		fmt.Printf("    %-4s %-5s %-10s %s\n", "scen", "k", "total(B)", "per-layer targets (B)")
+		for _, st := range core.StateLadderN(R, cfg.rates, 1, 4, S) {
+			fmt.Printf("    s%-3d k=%-3d %-10.0f %v\n", st.Scen, st.K, st.Total, ints(st.Layer))
+		}
+	}
+
+	fmt.Println("\n  drop rule after a collapse to R=14 KB/s with empty buffers:")
+	fmt.Printf("    linear:      drop %d of 4 layers (survivors consume 10 KB/s)\n",
+		core.DropCountN(14_000, linear, make([]float64, 4), S))
+	fmt.Printf("    exponential: drop %d of 4 layers (survivors consume 12.5 KB/s)\n",
+		core.DropCountN(14_000, expo, make([]float64, 4), S))
+	fmt.Println("\nthe exponential codec's cheap low layers pack closer to the")
+	fmt.Println("post-backoff rate, so fewer layers are shed and less quality lost.")
+}
+
+func ints(xs []float64) []int64 {
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		out[i] = int64(x)
+	}
+	return out
+}

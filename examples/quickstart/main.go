@@ -1,0 +1,42 @@
+// Quickstart: stream one quality-adaptive flow over a simulated 12 KB/s
+// bottleneck and watch the controller add layers, buffer for backoffs,
+// and keep playback running.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qav"
+)
+
+func main() {
+	// A single QA flow, alone on a small link: C = 3 KB/s per layer, so
+	// roughly three layers fit the 12 KB/s bottleneck with headroom for
+	// buffering.
+	cfg := qav.SingleQA(2 /* Kmax */)
+	cfg.Duration = 60
+
+	res, err := qav.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("quickstart: 60 simulated seconds of adaptive playback")
+	fmt.Printf("  average transmission rate: %8.0f B/s\n", res.Series.Get("qa.rate").Avg())
+	fmt.Printf("  average active layers:     %8.2f\n", res.Series.Get("qa.layers").Avg())
+	fmt.Printf("  played %.1f s with %.2f s of stalls\n", res.PlayedSec, res.StallSec)
+	fmt.Printf("  congestion backoffs absorbed: %d\n", res.Stats.Backoffs)
+	fmt.Printf("  layer adds/drops: %d/%d (buffering efficiency %.1f%%)\n",
+		res.Stats.Adds, res.Stats.Drops, 100*res.Stats.AvgEfficiency)
+
+	fmt.Println("\n  adaptation timeline:")
+	for _, e := range res.Events {
+		switch e.Kind {
+		case qav.EvPlayStart, qav.EvAddLayer, qav.EvDropLayer, qav.EvStallStart, qav.EvStallEnd:
+			fmt.Printf("  %7.2fs  %-7s layer=%d rate=%.0f B/s\n", e.Time, e.Kind, e.Layer, e.Rate)
+		}
+	}
+}

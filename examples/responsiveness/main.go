@@ -1,0 +1,49 @@
+// Responsiveness: reproduce the paper's Fig 13 experiment — a CBR
+// source at half the bottleneck bandwidth switches on at t=30s and off
+// at t=60s; the quality-adaptive flow must shed layers quickly, protect
+// the base layer, and recover afterwards.
+//
+//	go run ./examples/responsiveness
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"qav"
+)
+
+func main() {
+	cfg := qav.T2(4, 8) // Kmax=4, paper-axis scale
+	res, err := qav.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	layers := res.Series.Get("qa.layers")
+	fmt.Println("responsiveness: CBR burst at half the bottleneck, 30s-60s (Kmax=4)")
+	fmt.Printf("  avg layers before burst (15-30s): %.2f\n", layers.AvgBetween(15, 30))
+	fmt.Printf("  avg layers during burst (40-60s): %.2f\n", layers.AvgBetween(40, 60))
+	fmt.Printf("  avg layers after burst  (75-90s): %.2f\n", layers.AvgBetween(75, 90))
+	fmt.Printf("  playback stalls: %.2fs (base layer must never be jeopardized)\n", res.StallSec)
+
+	// A low-fi strip chart of the layer count over time.
+	fmt.Println("\n  layers over time (each column = 1s, height = active layers):")
+	maxL := int(layers.Max())
+	for row := maxL; row >= 1; row-- {
+		var b strings.Builder
+		fmt.Fprintf(&b, "  %2d |", row)
+		for sec := 0; sec < int(cfg.Duration); sec++ {
+			v := layers.AvgBetween(float64(sec), float64(sec+1))
+			if v >= float64(row)-0.5 {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Println(b.String())
+	}
+	fmt.Printf("      +%s\n", strings.Repeat("-", int(cfg.Duration)))
+	fmt.Println("       0s        burst on (30s)      burst off (60s)      90s")
+}

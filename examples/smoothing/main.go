@@ -1,0 +1,39 @@
+// Smoothing: sweep the paper's smoothing factor Kmax over the shared
+// -bottleneck test T1 and show the tradeoff of §3.1 — higher Kmax means
+// more receiver buffering and fewer disturbing quality changes, at the
+// cost of taking longer to reach the best short-term quality.
+//
+//	go run ./examples/smoothing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qav"
+)
+
+func main() {
+	fmt.Println("smoothing: T1 (QA + 9 RAP + 10 TCP flows) for Kmax in {1, 2, 4, 8}")
+	fmt.Printf("%-6s %-16s %-14s %-16s %-12s %-10s\n",
+		"Kmax", "quality changes", "avg layers", "avg buffering", "efficiency", "stalls")
+
+	for _, kmax := range []int{1, 2, 4, 8} {
+		cfg := qav.T1(kmax, 8) // paper-axis scale: C = 10 KB/s
+		cfg.Duration = 90
+		res, err := qav.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		changes := res.Stats.Adds + res.Stats.Drops
+		fmt.Printf("%-6d %-16d %-14.2f %8.0f bytes  %9.2f%%  %7.2fs\n",
+			kmax,
+			changes,
+			res.Series.Get("qa.layers").AvgBetween(30, cfg.Duration),
+			res.Series.Get("qa.buftotal").AvgBetween(30, cfg.Duration),
+			100*res.Stats.AvgEfficiency,
+			res.StallSec,
+		)
+	}
+	fmt.Println("\npaper's claim (Fig 12): higher Kmax buffers more and changes quality less.")
+}

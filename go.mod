@@ -1,0 +1,3 @@
+module qav
+
+go 1.22

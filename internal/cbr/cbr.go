@@ -1,0 +1,69 @@
+// Package cbr provides a constant-bit-rate on/off source, used by the
+// paper's responsiveness experiment (Fig 13): a CBR flow at half the
+// bottleneck bandwidth switches on at t=30s and off at t=60s.
+package cbr
+
+import "qav/internal/sim"
+
+// Config parameterizes a CBR source.
+type Config struct {
+	FlowID     int
+	Rate       float64 // bytes/s while on
+	PacketSize int     // bytes
+	Start      float64 // seconds
+	Stop       float64 // seconds; 0 or <Start = never stops
+}
+
+// Source emits fixed-size packets at a constant rate between Start and
+// Stop. Packets are unacknowledged (open-loop), like ns-2's CBR agent.
+type Source struct {
+	cfg  Config
+	eng  *sim.Engine
+	net  *sim.Dumbbell
+	seq  int64
+	sink sim.Receiver
+
+	// SentPkts counts transmissions.
+	SentPkts int64
+	// RecvPkts counts deliveries at the sink.
+	RecvPkts int64
+}
+
+// NewSource creates a CBR source on net. The sink just counts packets.
+func NewSource(eng *sim.Engine, net *sim.Dumbbell, cfg Config) *Source {
+	if cfg.PacketSize <= 0 {
+		cfg.PacketSize = 512
+	}
+	if cfg.Rate <= 0 {
+		panic("cbr: rate must be positive")
+	}
+	s := &Source{cfg: cfg, eng: eng, net: net}
+	s.sink = sim.ReceiverFunc(func(p *sim.Packet) { s.RecvPkts++ })
+	eng.At(cfg.Start, s.tick)
+	return s
+}
+
+func (s *Source) active(now float64) bool {
+	if now < s.cfg.Start {
+		return false
+	}
+	return s.cfg.Stop <= s.cfg.Start || now < s.cfg.Stop
+}
+
+func (s *Source) tick() {
+	now := s.eng.Now()
+	if !s.active(now) {
+		return
+	}
+	p := &sim.Packet{
+		FlowID:   s.cfg.FlowID,
+		Seq:      s.seq,
+		Size:     s.cfg.PacketSize,
+		Kind:     sim.Data,
+		SendTime: now,
+	}
+	s.seq++
+	s.SentPkts++
+	s.net.SendData(p, s.sink)
+	s.eng.After(float64(s.cfg.PacketSize)/s.cfg.Rate, s.tick)
+}

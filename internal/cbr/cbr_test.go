@@ -1,0 +1,65 @@
+package cbr
+
+import (
+	"math"
+	"testing"
+
+	"qav/internal/sim"
+)
+
+func TestCBRRateAndWindow(t *testing.T) {
+	eng := sim.NewEngine()
+	net := sim.NewDumbbell(eng, sim.DumbbellConfig{
+		Rate: 1e6, Delay: 0.005, AccessDelay: 0.001, QueueBytes: 1 << 20,
+	})
+	src := NewSource(eng, net, Config{
+		FlowID: 1, Rate: 50_000, PacketSize: 500, Start: 10, Stop: 20,
+	})
+	eng.RunUntil(30)
+
+	wantPkts := int64(50_000 * 10 / 500) // 10 s on-window
+	if math.Abs(float64(src.SentPkts-wantPkts)) > 2 {
+		t.Fatalf("sent %d packets, want ~%d", src.SentPkts, wantPkts)
+	}
+	if src.RecvPkts != src.SentPkts {
+		t.Fatalf("received %d != sent %d over a lossless link", src.RecvPkts, src.SentPkts)
+	}
+}
+
+func TestCBRNeverStops(t *testing.T) {
+	eng := sim.NewEngine()
+	net := sim.NewDumbbell(eng, sim.DumbbellConfig{
+		Rate: 1e6, Delay: 0.005, AccessDelay: 0.001, QueueBytes: 1 << 20,
+	})
+	src := NewSource(eng, net, Config{FlowID: 1, Rate: 10_000, PacketSize: 500})
+	eng.RunUntil(10)
+	want := int64(10_000 * 10 / 500)
+	if src.SentPkts < want-1 {
+		t.Fatalf("open-ended CBR sent %d, want ~%d", src.SentPkts, want)
+	}
+}
+
+func TestCBRPanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate accepted")
+		}
+	}()
+	eng := sim.NewEngine()
+	net := sim.NewDumbbell(eng, sim.DumbbellConfig{Rate: 1, Delay: 0, AccessDelay: 0, QueueBytes: 1})
+	NewSource(eng, net, Config{Rate: 0})
+}
+
+func TestCBRSaturatesBottleneck(t *testing.T) {
+	// CBR at twice the bottleneck rate: roughly half the packets drop.
+	eng := sim.NewEngine()
+	net := sim.NewDumbbell(eng, sim.DumbbellConfig{
+		Rate: 25_000, Delay: 0.005, AccessDelay: 0.001, QueueBytes: 8 * 500,
+	})
+	src := NewSource(eng, net, Config{FlowID: 1, Rate: 50_000, PacketSize: 500})
+	eng.RunUntil(20)
+	frac := float64(src.RecvPkts) / float64(src.SentPkts)
+	if frac < 0.4 || frac > 0.65 {
+		t.Fatalf("delivered fraction %.2f, want ~0.5 at 2x overload", frac)
+	}
+}

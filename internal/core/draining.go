@@ -1,0 +1,53 @@
+package core
+
+// DrainPlan distributes need bytes of buffer draining across layers for
+// one planning horizon, realizing §4.2: the maximally efficient path is
+// walked in reverse, so the highest layers' buffers are drained first,
+// no layer is drained below its share at the preceding optimal state,
+// and no layer is drained faster than it can be consumed (maxPerLayer =
+// C × horizon bytes).
+//
+// ladder must be ascending (as returned by StateLadder). The returned
+// drains has len(bufs) entries; unmet is the portion of need that could
+// not be covered even after draining every layer to zero at full
+// consumption rate — a critical situation (§2.2) requiring layer drops.
+func DrainPlan(ladder []State, bufs []float64, need, maxPerLayer float64) (drains []float64, unmet float64) {
+	na := len(bufs)
+	drains = make([]float64, na)
+	if need <= 0 {
+		return drains, 0
+	}
+	// Pass floors from the top state down to zero floors; passes whose
+	// floors the buffers already sit below contribute nothing, so the
+	// walk implicitly starts at the current position on the path.
+	for m := len(ladder); m >= 0 && need > 0; m-- {
+		var floors []float64
+		if m > 0 {
+			floors = ladder[m-1].Layer
+		}
+		for i := na - 1; i >= 0 && need > 0; i-- {
+			floor := 0.0
+			if floors != nil && i < len(floors) {
+				floor = floors[i]
+			}
+			avail := bufs[i] - drains[i] - floor
+			if avail <= 0 {
+				continue
+			}
+			room := maxPerLayer - drains[i]
+			if room <= 0 {
+				continue
+			}
+			take := avail
+			if take > room {
+				take = room
+			}
+			if take > need {
+				take = need
+			}
+			drains[i] += take
+			need -= take
+		}
+	}
+	return drains, need
+}

@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"fmt"
+
+	"qav/internal/core"
+)
+
+// The deficit triangle after one backoff from 40 KB/s against three
+// 10 KB/s layers, and its optimal split across layers (§2.4).
+func ExampleBand() {
+	const (
+		C  = 10_000.0 // per-layer rate, B/s
+		S  = 25_000.0 // recovery slope, B/s²
+		R  = 40_000.0 // rate before the backoff
+		na = 3
+	)
+	H := float64(na)*C - R/2 // deficit height after halving
+	fmt.Printf("deficit %.0f B/s, total buffering %.0f B\n", H, core.TriangleArea(H, S))
+	for i := 0; i < na; i++ {
+		fmt.Printf("layer %d optimal share: %.0f B\n", i, core.Band(H, C, S, i))
+	}
+	// Output:
+	// deficit 10000 B/s, total buffering 2000 B
+	// layer 0 optimal share: 2000 B
+	// layer 1 optimal share: 0 B
+	// layer 2 optimal share: 0 B
+}
+
+// Total buffering needed to ride out k backoffs under the two extreme
+// loss scenarios of §4.
+func ExampleBufTotal() {
+	const (
+		C = 10_000.0
+		S = 25_000.0
+		R = 60_000.0
+	)
+	for k := 1; k <= 3; k++ {
+		s1 := core.BufTotal(core.Scenario1, R, 4, k, C, S)
+		s2 := core.BufTotal(core.Scenario2, R, 4, k, C, S)
+		fmt.Printf("k=%d: scenario1 %.0f B, scenario2 %.0f B\n", k, s1, s2)
+	}
+	// Output:
+	// k=1: scenario1 2000 B, scenario2 2000 B
+	// k=2: scenario1 12500 B, scenario2 10000 B
+	// k=3: scenario1 21125 B, scenario2 18000 B
+}
+
+// A controller integrated with a custom transport: the four calls of
+// the public API.
+func ExampleController() {
+	ctrl, err := core.NewController(core.Params{
+		C: 1_000, Kmax: 2, MaxLayers: 4, StartupSec: 0.2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	now, rate, slope := 0.0, 3_500.0, 20_000.0
+	for i := 0; i < 3000; i++ {
+		layer := ctrl.PickLayer(now, rate, slope, 500)
+		ctrl.OnDelivered(now, layer, 500) // pretend instant delivery
+		now += 500 / rate
+	}
+	fmt.Printf("layers after warmup: %d, playing: %v\n", ctrl.ActiveLayers(), ctrl.Playing())
+	ctrl.OnBackoff(now, 100, 2) // catastrophic collapse
+	fmt.Printf("layers after collapse: %d\n", ctrl.ActiveLayers())
+	// Output:
+	// layers after warmup: 3, playing: true
+	// layers after collapse: 1
+}

@@ -1,0 +1,173 @@
+package core
+
+import "math"
+
+// The geometry (§2.4, Appendix A): after backoffs drop the transmission
+// rate below the total consumption rate na·C, the deficit over time is a
+// triangle of height H (the instantaneous rate shortfall) declining to
+// zero at slope S. Its area H²/(2S) is the buffering required to keep all
+// layers playing. The optimal inter-layer split slices that triangle into
+// horizontal bands of thickness C: the bottom band (largest area) belongs
+// to the base layer, the next to layer 1, and so on — buffered data in
+// low layers stays useful even when higher layers are dropped.
+
+// Band returns the optimal buffer share of layer i for a deficit triangle
+// of height H: the area of the i-th horizontal band of thickness C.
+// Bands sum exactly to H²/(2S).
+func Band(H, C, S float64, i int) float64 {
+	if H <= 0 || i < 0 {
+		return 0
+	}
+	lo := float64(i) * C
+	if H <= lo {
+		return 0
+	}
+	hi := lo + C
+	if H < hi {
+		// Partial top band: a small triangle.
+		d := H - lo
+		return d * d / (2 * S)
+	}
+	// Full band: trapezoid between levels lo and hi.
+	return C * (2*H - (2*float64(i)+1)*C) / (2 * S)
+}
+
+// TriangleArea returns the total buffering required to absorb a deficit
+// triangle of height H with recovery slope S: H²/(2S).
+func TriangleArea(H, S float64) float64 {
+	if H <= 0 {
+		return 0
+	}
+	return H * H / (2 * S)
+}
+
+// NumBufLayers returns n_b, the minimum number of layers that must hold
+// buffering to absorb a deficit of height H (§2.4): ceil(H/C).
+func NumBufLayers(H, C float64) int {
+	if H <= 0 {
+		return 0
+	}
+	return int(math.Ceil(H/C - 1e-12))
+}
+
+// K1 returns the minimum number of backoffs needed to drop rate R below
+// the consumption rate naC (Appendix A.4). It is 0 when R is already
+// below naC.
+func K1(R, naC float64) int {
+	if R < naC {
+		return 0
+	}
+	k := 0
+	for r := R; r >= naC; r /= 2 {
+		k++
+		if k > 64 {
+			break // R/naC overflow guard; 2^64 halvings never happen
+		}
+	}
+	return k
+}
+
+// Scenario identifies one of the two extreme multi-backoff loss patterns
+// of §4 (Fig 7): Scenario1 = all k backoffs hit back-to-back at the start
+// of the draining phase (needs the most buffering layers); Scenario2 =
+// enough immediate backoffs to fall below the consumption rate, then each
+// remaining backoff strikes just as the rate climbs back to na·C (needs
+// the most total buffering).
+type Scenario int
+
+// The two extreme loss scenarios.
+const (
+	Scenario1 Scenario = 1
+	Scenario2 Scenario = 2
+)
+
+// BufTotal returns the total buffering required to survive k backoffs
+// under the given scenario with na active layers at transmission rate R
+// (Appendix A.4). R may be below na·C (mid-drain): the current shortfall
+// then counts as the first triangle with k1 = 0.
+func BufTotal(s Scenario, R float64, na int, k int, C, S float64) float64 {
+	naC := float64(na) * C
+	if k < 0 || naC <= 0 {
+		return 0
+	}
+	switch s {
+	case Scenario1:
+		h := naC - R/math.Pow(2, float64(k))
+		return TriangleArea(h, S)
+	case Scenario2:
+		k1 := K1(R, naC)
+		if k < k1 {
+			return 0
+		}
+		first := TriangleArea(naC-R/math.Pow(2, float64(k1)), S)
+		rest := float64(k-k1) * TriangleArea(naC/2, S)
+		return first + rest
+	default:
+		panic("core: unknown scenario")
+	}
+}
+
+// BufLayer returns the maximally efficient buffer share of layer i needed
+// to survive k backoffs under the given scenario (Appendix A.5).
+func BufLayer(s Scenario, R float64, na, k, i int, C, S float64) float64 {
+	naC := float64(na) * C
+	if k < 0 || i < 0 || i >= na {
+		return 0
+	}
+	switch s {
+	case Scenario1:
+		h := naC - R/math.Pow(2, float64(k))
+		return Band(h, C, S, i)
+	case Scenario2:
+		k1 := K1(R, naC)
+		if k < k1 {
+			return 0
+		}
+		first := Band(naC-R/math.Pow(2, float64(k1)), C, S, i)
+		rest := float64(k-k1) * Band(naC/2, C, S, i)
+		return first + rest
+	default:
+		panic("core: unknown scenario")
+	}
+}
+
+// AddCondition reports whether §2.1's two conditions to add layer na+1
+// hold with k-backoff smoothing (§3.1): the instantaneous rate sustains
+// all layers plus the new one, and total buffering survives k backoffs at
+// the enlarged consumption rate under whichever extreme scenario demands
+// more.
+func AddCondition(R float64, na int, totalBuf, C, S float64, k int) bool {
+	newC := float64(na+1) * C
+	if R < newC {
+		return false
+	}
+	need := math.Max(
+		BufTotal(Scenario1, R, na+1, k, C, S),
+		BufTotal(Scenario2, R, na+1, k, C, S),
+	)
+	return totalBuf >= need
+}
+
+// DropCount returns how many layers must be dropped under §2.2's rule
+// given post-backoff rate R and the per-layer buffer levels bufs (index 0
+// = base layer): layers are shed highest-first until the recovery
+// triangle fits in the buffering of the *surviving* layers — a dropped
+// layer's buffered data no longer assists recovery. The base layer is
+// never dropped.
+func DropCount(R float64, bufs []float64, C, S float64) int {
+	na := len(bufs)
+	total := 0.0
+	for _, b := range bufs {
+		total += b
+	}
+	drops := 0
+	for na-drops > 1 {
+		h := float64(na-drops)*C - R
+		if TriangleArea(h, S) <= total {
+			break
+		}
+		total -= bufs[na-drops-1]
+		drops++
+	}
+	return drops
+}

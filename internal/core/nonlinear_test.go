@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func ratesFrom(raw []uint8, n int) []float64 {
+	rates := make([]float64, n)
+	for i := range rates {
+		v := 100.0
+		if i < len(raw) {
+			v = float64(raw[i]) + 100
+		}
+		rates[i] = v * 10
+	}
+	return rates
+}
+
+func TestBandNReducesToLinear(t *testing.T) {
+	rates := []float64{tC, tC, tC, tC}
+	f := func(hRaw uint16) bool {
+		H := float64(hRaw)
+		for i := 0; i < 4; i++ {
+			if !almostEq(BandN(H, rates, tS, i), Band(H, tC, tS, i), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandNSumsToTriangle(t *testing.T) {
+	f := func(hRaw uint16, raw []uint8) bool {
+		rates := ratesFrom(raw, 5)
+		H := math.Min(float64(hRaw), TotalRateN(rates)) // within the layer stack
+		sum := 0.0
+		for i := range rates {
+			sum += BandN(H, rates, tS, i)
+		}
+		want := TriangleArea(H, tS)
+		return almostEq(sum, want, 1e-6*math.Max(1, want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandNExponentialSpacing(t *testing.T) {
+	// Exponentially spaced layers: 1000, 2000, 4000, 8000 B/s.
+	rates := []float64{1000, 2000, 4000, 8000}
+	H := 6000.0 // reaches into layer 2
+	b0 := BandN(H, rates, tS, 0)
+	b1 := BandN(H, rates, tS, 1)
+	b2 := BandN(H, rates, tS, 2)
+	b3 := BandN(H, rates, tS, 3)
+	if b3 != 0 {
+		t.Fatalf("layer above the deficit has buffer %v", b3)
+	}
+	// Band 2 is a partial triangle of height 3000.
+	if !almostEq(b2, 3000*3000/(2*tS), 1e-9) {
+		t.Fatalf("partial band = %v", b2)
+	}
+	// Per unit of rate, lower layers hold at least as much (longer
+	// draining durations).
+	if b0/rates[0] < b1/rates[1] || b1/rates[1] < b2/rates[2] {
+		t.Fatalf("per-rate protection not decreasing: %v %v %v",
+			b0/rates[0], b1/rates[1], b2/rates[2])
+	}
+}
+
+func TestBufTotalNMatchesLinear(t *testing.T) {
+	rates := []float64{tC, tC, tC}
+	for _, sc := range []Scenario{Scenario1, Scenario2} {
+		for k := 0; k < 6; k++ {
+			got := BufTotalN(sc, 4000, rates, k, tS)
+			want := BufTotal(sc, 4000, 3, k, tC, tS)
+			if !almostEq(got, want, 1e-9) {
+				t.Fatalf("%v k=%d: %v != %v", sc, k, got, want)
+			}
+		}
+	}
+}
+
+func TestBufLayerNSumsToTotal(t *testing.T) {
+	f := func(rRaw uint16, kRaw, raw uint8) bool {
+		rates := ratesFrom([]uint8{raw, raw / 2, raw / 3}, 3)
+		R := float64(rRaw) + 1
+		k := int(kRaw) % 6
+		for _, sc := range []Scenario{Scenario1, Scenario2} {
+			tot := BufTotalN(sc, R, rates, k, tS)
+			sum := 0.0
+			for i := range rates {
+				sum += BufLayerN(sc, R, rates, k, i, tS)
+			}
+			if sum > tot+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateLadderNMonotone(t *testing.T) {
+	rates := []float64{2000, 1000, 500, 250}
+	ladder := StateLadderN(6000, rates, 1, 5, tS)
+	if len(ladder) == 0 {
+		t.Fatal("empty ladder")
+	}
+	prevTotal := 0.0
+	prev := make([]float64, len(rates))
+	for _, st := range ladder {
+		if st.Total < prevTotal-1e-9 {
+			t.Fatalf("totals not ascending: %v < %v", st.Total, prevTotal)
+		}
+		for i, v := range st.Layer {
+			if v < prev[i]-1e-9 {
+				t.Fatalf("layer %d target shrank", i)
+			}
+			prev[i] = v
+		}
+		prevTotal = st.Total
+	}
+}
+
+func TestStateLadderNWorksWithDrainPlan(t *testing.T) {
+	// The generalized ladder plugs straight into the drain allocator.
+	rates := []float64{2000, 1000, 500}
+	ladder := StateLadderN(2500, rates, 0, 3, tS)
+	bufs := []float64{5000, 2500, 1200}
+	drains, unmet := DrainPlan(ladder, bufs, 400, 600)
+	if unmet != 0 {
+		t.Fatalf("unmet = %v", unmet)
+	}
+	sum := 0.0
+	for _, d := range drains {
+		sum += d
+	}
+	if !almostEq(sum, 400, 1e-9) {
+		t.Fatalf("drained %v, want 400", sum)
+	}
+}
+
+func TestDropCountN(t *testing.T) {
+	rates := []float64{1000, 2000, 4000}
+	// R=500 against 7000 consumption with no buffer: drop to base.
+	if got := DropCountN(500, rates, []float64{0, 0, 0}, tS); got != 2 {
+		t.Fatalf("DropCountN = %d, want 2", got)
+	}
+	// Huge base buffer: nothing dropped.
+	if got := DropCountN(500, rates, []float64{1e9, 0, 0}, tS); got != 0 {
+		t.Fatalf("DropCountN = %d, want 0", got)
+	}
+	// Mismatched lengths panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	DropCountN(500, rates, []float64{0}, tS)
+}
+
+func TestDropCountNMatchesLinear(t *testing.T) {
+	f := func(rRaw uint16, b0, b1, b2 uint16) bool {
+		rates := []float64{tC, tC, tC}
+		bufs := []float64{float64(b0), float64(b1), float64(b2)}
+		return DropCountN(float64(rRaw), rates, bufs, tS) ==
+			DropCount(float64(rRaw), bufs, tC, tS)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package core implements the paper's quality adaptation mechanism for
+// layered video over an AIMD congestion controlled transport: the
+// buffer-requirement formulas for single- and multiple-backoff scenarios
+// (§2.4, §4.1, Appendix A), the maximally efficient state sequence
+// (Figs 8-10), the per-packet filling allocator (§4.1's SendPacket), the
+// reverse-path draining allocator (§4.2), and the coarse-grain layer
+// add/drop rules (§2.1, §2.2) with smoothing factor Kmax (§3).
+//
+// Conventions: rates are bytes/s, buffering is bytes, time is seconds,
+// and S is the AIMD additive-increase slope in bytes/s². Layers are
+// linearly spaced: every layer consumes C bytes/s (the paper's analysis
+// assumption).
+package core
+
+import "fmt"
+
+// Allocation selects the inter-layer buffer allocation policy. The
+// paper's contribution is the optimal policy; the other two are the
+// strawmen §2.3 argues against, kept for the ablation benches.
+type Allocation int
+
+const (
+	// AllocOptimal follows the maximally efficient path (the paper).
+	AllocOptimal Allocation = iota
+	// AllocEqual spreads surplus toward equal per-layer buffering
+	// (§2.3's "dropping layers with buffered data" strawman).
+	AllocEqual
+	// AllocBase sends all surplus to the base layer (§2.3's
+	// "insufficient distribution of buffered data" strawman).
+	AllocBase
+)
+
+func (a Allocation) String() string {
+	switch a {
+	case AllocOptimal:
+		return "optimal"
+	case AllocEqual:
+		return "equal"
+	case AllocBase:
+		return "base-only"
+	default:
+		return "?"
+	}
+}
+
+// Params configures a quality adaptation controller.
+type Params struct {
+	// C is the per-layer consumption rate in bytes/s.
+	C float64
+	// Kmax is the smoothing factor: the number of backoffs worth of
+	// buffering accumulated before a new layer is added (§3.1).
+	Kmax int
+	// MaxLayers bounds the number of encoded layers available.
+	MaxLayers int
+	// StartupSec is how many seconds of base-layer data must be buffered
+	// before playback starts.
+	StartupSec float64
+	// PlanHorizon is the draining-allocator planning horizon in seconds
+	// (clamped to [PlanHorizonMin, PlanHorizonMax] around the RTT).
+	PlanHorizon float64
+	// ExtraStates lets buffers keep growing past Kmax while the adding
+	// condition's rate test fails (the paper's 2.9-layer modem example):
+	// scenario-2 states up to Kmax+ExtraStates are pursued.
+	ExtraStates int
+	// AddSpacing is the minimum time between layer changes and a
+	// subsequent add. Until the first RTT sample the slope estimate is
+	// arbitrary, and §2.1 warns against several layers being added per
+	// congestion-control cycle; spacing bounds the damage.
+	AddSpacing float64
+	// Alloc selects the inter-layer buffer allocation policy (the
+	// default AllocOptimal is the paper's contribution; the others are
+	// §2.3's strawmen for ablations).
+	Alloc Allocation
+	// ProtectSec keeps at least this many seconds of data buffered in
+	// every active layer once the Kmax targets are met, before surplus
+	// chases the deeper (bottom-heavy) states. Buffer draining is
+	// bounded per layer by the consumption rate C, so a top layer with
+	// zero buffer starves in deep multi-backoff dips no matter how much
+	// the base layer holds; a small reserve prevents exactly the
+	// "poor distribution" drops Table 2 counts.
+	ProtectSec float64
+}
+
+// Validate checks parameter sanity.
+func (p *Params) Validate() error {
+	if p.C <= 0 {
+		return fmt.Errorf("core: C must be positive, got %v", p.C)
+	}
+	if p.Kmax < 1 {
+		return fmt.Errorf("core: Kmax must be >= 1, got %d", p.Kmax)
+	}
+	if p.MaxLayers < 1 {
+		return fmt.Errorf("core: MaxLayers must be >= 1, got %d", p.MaxLayers)
+	}
+	return nil
+}
+
+func (p *Params) setDefaults() {
+	if p.Kmax == 0 {
+		p.Kmax = 2
+	}
+	if p.MaxLayers == 0 {
+		p.MaxLayers = 8
+	}
+	if p.StartupSec == 0 {
+		p.StartupSec = 1.0
+	}
+	if p.PlanHorizon == 0 {
+		p.PlanHorizon = 0.05
+	}
+	if p.ExtraStates == 0 {
+		p.ExtraStates = 24
+	}
+	if p.AddSpacing == 0 {
+		p.AddSpacing = 0.5
+	}
+	if p.ProtectSec == 0 {
+		p.ProtectSec = 0.5
+	}
+}

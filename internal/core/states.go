@@ -1,0 +1,134 @@
+package core
+
+import "sort"
+
+// State is one optimal buffer state on the maximally efficient path
+// (Figs 8-10): the per-layer buffer targets required to survive K
+// backoffs under Scen, made cumulative along the path so that filling
+// never implies draining a previously filled layer.
+type State struct {
+	Scen  Scenario
+	K     int
+	Layer []float64 // per-layer target, index 0 = base layer
+	Total float64   // sum of Layer
+	// RawTotal is the formula total before the monotonic adjustment.
+	RawTotal float64
+}
+
+// StateLadder builds the ordered sequence of optimal buffer states for
+// na layers at rate R, covering k = kmin..kmax in both scenarios:
+//
+//  1. raw states are computed from the Appendix A formulas,
+//  2. sorted by increasing total requirement (Fig 9), scenario 1 first
+//     on ties (its distribution is the more flexible one),
+//  3. per-layer targets are made monotonically non-decreasing along the
+//     sequence (the running max), realizing §4.1's constraint that both
+//     the total and every layer's buffering only grow while filling
+//     (Fig 10).
+//
+// States whose raw total is zero (k too small to pull R below na·C) are
+// omitted. kmin of 0 includes the "finish the current drain" state used
+// by the draining allocator when R is already below na·C.
+func StateLadder(R float64, na, kmin, kmax int, C, S float64) []State {
+	if na <= 0 || kmax < kmin {
+		return nil
+	}
+	var raw []State
+	for k := kmin; k <= kmax; k++ {
+		for _, sc := range []Scenario{Scenario1, Scenario2} {
+			tot := BufTotal(sc, R, na, k, C, S)
+			if tot <= 0 {
+				continue
+			}
+			if sc == Scenario2 && BufTotal(Scenario1, R, na, k, C, S) == tot {
+				// Identical to the scenario-1 state (k <= k1): skip dup.
+				continue
+			}
+			st := State{Scen: sc, K: k, RawTotal: tot, Layer: make([]float64, na)}
+			for i := 0; i < na; i++ {
+				st.Layer[i] = BufLayer(sc, R, na, k, i, C, S)
+			}
+			raw = append(raw, st)
+		}
+	}
+	sort.SliceStable(raw, func(i, j int) bool {
+		if raw[i].RawTotal != raw[j].RawTotal {
+			return raw[i].RawTotal < raw[j].RawTotal
+		}
+		return raw[i].Scen < raw[j].Scen
+	})
+	// Monotonic per-layer adjustment.
+	prev := make([]float64, na)
+	for idx := range raw {
+		tot := 0.0
+		for i := 0; i < na; i++ {
+			if raw[idx].Layer[i] < prev[i] {
+				raw[idx].Layer[i] = prev[i]
+			}
+			prev[i] = raw[idx].Layer[i]
+			tot += raw[idx].Layer[i]
+		}
+		raw[idx].Total = tot
+	}
+	return raw
+}
+
+// FillTarget implements the paper's per-packet SendPacket scan (§4.1):
+// given the current per-layer buffering, it returns the layer whose
+// buffer the transmission surplus should currently extend, or ok=false
+// when every target up to kmax in both scenarios is satisfied.
+//
+// The scan finds, in each scenario, the first state whose *total*
+// requirement exceeds the available buffering, works toward whichever of
+// the two needs less, and fills the lowest layer below its per-layer
+// target in that state. While scenario-1 states remain unsatisfied, a
+// layer is never filled beyond its next scenario-1 target (the paper's
+// clamp keeping scenario-2 allocations inside the scenario-1 envelope).
+func FillTarget(R float64, bufs []float64, C, S float64, kmax int) (layer int, ok bool) {
+	na := len(bufs)
+	if na == 0 {
+		return 0, false
+	}
+	total := 0.0
+	for _, b := range bufs {
+		total += b
+	}
+
+	k1n, bufReq1 := 0, 0.0
+	for bufReq1 <= total && k1n < kmax {
+		k1n++
+		bufReq1 = BufTotal(Scenario1, R, na, k1n, C, S)
+	}
+	s1Done := bufReq1 <= total // all scenario-1 states up to kmax satisfied
+
+	k2n, bufReq2 := 0, 0.0
+	for bufReq2 <= total && k2n < kmax {
+		k2n++
+		bufReq2 = BufTotal(Scenario2, R, na, k2n, C, S)
+	}
+	s2Done := bufReq2 <= total
+
+	if s1Done && s2Done {
+		return 0, false
+	}
+
+	const eps = 1e-9
+	workS1 := !s1Done && (s2Done || bufReq1 <= bufReq2)
+	for i := 0; i < na; i++ {
+		l1 := BufLayer(Scenario1, R, na, k1n, i, C, S)
+		l2 := BufLayer(Scenario2, R, na, k2n, i, C, S)
+		if workS1 {
+			if l1 > bufs[i]+eps {
+				return i, true
+			}
+		} else {
+			if l2 > bufs[i]+eps && (s1Done || l1 > bufs[i]+eps) {
+				return i, true
+			}
+		}
+	}
+	// Totals said unsatisfied but every layer met its per-layer target:
+	// numerical corner (monotone adjustment exceeding raw totals). Top
+	// up the base layer; it is always the most valuable.
+	return 0, true
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStateLadderAscendingAndMonotone(t *testing.T) {
+	f := func(rRaw uint16, naRaw, kRaw uint8) bool {
+		R := float64(rRaw) + 500
+		na := int(naRaw)%6 + 1
+		kmax := int(kRaw)%8 + 1
+		ladder := StateLadder(R, na, 1, kmax, tC, tS)
+		prevTotal := 0.0
+		prev := make([]float64, na)
+		for _, st := range ladder {
+			if st.Total < prevTotal-1e-9 {
+				return false // totals must ascend
+			}
+			sum := 0.0
+			for i := 0; i < na; i++ {
+				if st.Layer[i] < prev[i]-1e-9 {
+					return false // per-layer targets must never shrink
+				}
+				prev[i] = st.Layer[i]
+				sum += st.Layer[i]
+			}
+			if !almostEq(sum, st.Total, 1e-6*math.Max(1, st.Total)) {
+				return false
+			}
+			prevTotal = st.Total
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateLadderCoversBothScenarios(t *testing.T) {
+	// R=8000, na=4, Kmax=3: k1=2, so scenario-2 states for k=3 differ
+	// from scenario 1 and must both appear.
+	ladder := StateLadder(8000, 4, 1, 3, tC, tS)
+	has := map[Scenario]int{}
+	for _, st := range ladder {
+		has[st.Scen]++
+	}
+	if has[Scenario1] == 0 || has[Scenario2] == 0 {
+		t.Fatalf("ladder missing a scenario: %+v", has)
+	}
+	// States below k1 (zero requirement) are omitted.
+	for _, st := range ladder {
+		if st.RawTotal <= 0 {
+			t.Fatalf("zero-requirement state present: %+v", st)
+		}
+	}
+}
+
+func TestStateLadderDropsScenario2Duplicates(t *testing.T) {
+	// k <= k1 makes the two scenarios identical; only one copy belongs.
+	ladder := StateLadder(3000, 2, 1, 1, tC, tS) // k1(3000,2000)=1
+	if len(ladder) != 1 {
+		t.Fatalf("ladder has %d states, want 1 (k=1 duplicate removed)", len(ladder))
+	}
+	if ladder[0].Scen != Scenario1 {
+		t.Fatalf("surviving state is %v, want scenario 1", ladder[0].Scen)
+	}
+}
+
+func TestStateLadderBaseLayerAlwaysLargest(t *testing.T) {
+	f := func(rRaw uint16, naRaw uint8) bool {
+		R := float64(rRaw) + 500
+		na := int(naRaw)%6 + 1
+		for _, st := range StateLadder(R, na, 1, 5, tC, tS) {
+			for i := 1; i < na; i++ {
+				if st.Layer[i] > st.Layer[i-1]+1e-9 {
+					return false // lower layers get more protection
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Simulate the sequential filling process: repeatedly pour a small
+// increment into the layer FillTarget selects and verify the invariants
+// the paper's Figs 5 and 10 promise.
+func TestFillTargetSequentialFilling(t *testing.T) {
+	const (
+		R    = 6000.0
+		na   = 4
+		kmax = 3
+		inc  = 25.0
+	)
+	bufs := make([]float64, na)
+	var firstNonZero []int // order in which layers first receive data
+	seen := make([]bool, na)
+
+	for step := 0; step < 100000; step++ {
+		layer, ok := FillTarget(R, bufs, tC, tS, kmax)
+		if !ok {
+			break
+		}
+		if layer < 0 || layer >= na {
+			t.Fatalf("FillTarget returned out-of-range layer %d", layer)
+		}
+		if !seen[layer] {
+			seen[layer] = true
+			firstNonZero = append(firstNonZero, layer)
+		}
+		bufs[layer] += inc
+	}
+
+	// Filling must terminate.
+	if _, ok := FillTarget(R, bufs, tC, tS, kmax); ok {
+		t.Fatal("filling did not terminate")
+	}
+	// The base layer is filled first.
+	if len(firstNonZero) == 0 || firstNonZero[0] != 0 {
+		t.Fatalf("first filled layer = %v, want base layer first", firstNonZero)
+	}
+	// Layers begin receiving data in bottom-up order.
+	for i := 1; i < len(firstNonZero); i++ {
+		if firstNonZero[i] < firstNonZero[i-1] {
+			t.Fatalf("layers first touched out of order: %v", firstNonZero)
+		}
+	}
+	// Every target for k <= kmax in both scenarios is now satisfied.
+	for k := 1; k <= kmax; k++ {
+		for _, sc := range []Scenario{Scenario1, Scenario2} {
+			for i := 0; i < na; i++ {
+				want := BufLayer(sc, R, na, k, i, tC, tS)
+				if bufs[i]+inc < want {
+					t.Fatalf("layer %d buf %.0f misses %v k=%d target %.0f", i, bufs[i], sc, k, want)
+				}
+			}
+		}
+	}
+	// No wild overfill: total is within one increment per layer of the
+	// final ladder total.
+	ladder := StateLadder(R, na, 1, kmax, tC, tS)
+	finalTotal := ladder[len(ladder)-1].Total
+	got := 0.0
+	for _, b := range bufs {
+		got += b
+	}
+	if got > finalTotal+float64(na)*inc {
+		t.Fatalf("overfilled: %v > ladder max %v", got, finalTotal)
+	}
+}
+
+// While scenario-1 states remain unsatisfied, filling for a scenario-2
+// goal must not push a layer beyond its next scenario-1 target.
+func TestFillTargetScenario2Clamp(t *testing.T) {
+	const (
+		R    = 8000.0 // k1 = 2 for naC = 4000
+		na   = 4
+		kmax = 5
+		inc  = 10.0
+	)
+	bufs := make([]float64, na)
+	for step := 0; step < 300000; step++ {
+		layer, ok := FillTarget(R, bufs, tC, tS, kmax)
+		if !ok {
+			break
+		}
+		bufs[layer] += inc
+
+		// Invariant: whenever a layer holds data, either some prior
+		// state justifies it or it is within the scenario-1 envelope at
+		// the *final* k (the loosest clamp the paper allows).
+		for i := 0; i < na; i++ {
+			s1Env := BufLayer(Scenario1, R, na, kmax, i, tC, tS)
+			s2Env := BufLayer(Scenario2, R, na, kmax, i, tC, tS)
+			env := math.Max(s1Env, s2Env)
+			if bufs[i] > env+inc {
+				t.Fatalf("step %d: layer %d buf %.0f exceeds envelope %.0f", step, i, bufs[i], env)
+			}
+		}
+	}
+}
+
+func TestFillTargetEmpty(t *testing.T) {
+	if _, ok := FillTarget(5000, nil, tC, tS, 2); ok {
+		t.Fatal("no layers: nothing to fill")
+	}
+	// Zero buffers always need filling (given R above consumption).
+	layer, ok := FillTarget(5000, []float64{0, 0}, tC, tS, 2)
+	if !ok || layer != 0 {
+		t.Fatalf("zero buffers: got (%d,%v), want (0,true)", layer, ok)
+	}
+}
+
+func TestDrainPlanBasics(t *testing.T) {
+	R, na := 2000.0, 3 // naC=3000, draining
+	ladder := StateLadder(R, na, 0, 2, tC, tS)
+	bufs := []float64{4000, 2500, 1000}
+
+	drains, unmet := DrainPlan(ladder, bufs, 500, 1000)
+	if unmet != 0 {
+		t.Fatalf("unmet = %v, want 0", unmet)
+	}
+	sum := 0.0
+	for i, d := range drains {
+		if d < 0 {
+			t.Fatalf("negative drain on layer %d", i)
+		}
+		if d > 1000 {
+			t.Fatalf("layer %d drains %v > per-layer cap", i, d)
+		}
+		if d > bufs[i] {
+			t.Fatalf("layer %d drains more than it holds", i)
+		}
+		sum += d
+	}
+	if !almostEq(sum, 500, 1e-9) {
+		t.Fatalf("total drained %v, want 500", sum)
+	}
+}
+
+func TestDrainPlanPrefersHigherLayers(t *testing.T) {
+	// Plenty everywhere: the drain should come from the top layer first
+	// (reverse of the fill order).
+	R, na := 2000.0, 3
+	ladder := StateLadder(R, na, 0, 2, tC, tS)
+	bufs := []float64{50000, 50000, 50000}
+	drains, _ := DrainPlan(ladder, bufs, 300, 1000)
+	if drains[2] != 300 || drains[0] != 0 || drains[1] != 0 {
+		t.Fatalf("drains = %v, want all 300 from the top layer", drains)
+	}
+}
+
+func TestDrainPlanRespectsFloors(t *testing.T) {
+	R, na := 2000.0, 3
+	ladder := StateLadder(R, na, 0, 2, tC, tS)
+	if len(ladder) == 0 {
+		t.Fatal("empty ladder")
+	}
+	// Buffers exactly at the top state's targets: draining a small amount
+	// must not take any layer below the *previous* state's target.
+	top := ladder[len(ladder)-1]
+	bufs := make([]float64, na)
+	copy(bufs, top.Layer)
+	var prev []float64
+	prevTotal := 0.0
+	if len(ladder) >= 2 {
+		prev = ladder[len(ladder)-2].Layer
+		prevTotal = ladder[len(ladder)-2].Total
+	} else {
+		prev = make([]float64, na)
+	}
+	// Drain only half the headroom between the top two states, so the
+	// previous state's floors must hold exactly.
+	need := (top.Total - prevTotal) / 2
+	if need <= 0 {
+		t.Skip("degenerate ladder: top two states coincide")
+	}
+	drains, unmet := DrainPlan(ladder, bufs, need, top.Total)
+	if unmet != 0 {
+		t.Fatalf("unmet = %v", unmet)
+	}
+	for i := range drains {
+		if bufs[i]-drains[i] < prev[i]-1e-9 {
+			t.Fatalf("layer %d drained below previous state floor", i)
+		}
+	}
+}
+
+func TestDrainPlanUnmet(t *testing.T) {
+	R, na := 500.0, 2
+	ladder := StateLadder(R, na, 0, 2, tC, tS)
+	// Nearly empty buffers: a large need cannot be met.
+	drains, unmet := DrainPlan(ladder, []float64{50, 10}, 500, 1000)
+	if unmet <= 0 {
+		t.Fatalf("expected unmet demand, got drains=%v unmet=%v", drains, unmet)
+	}
+	if !almostEq(drains[0]+drains[1]+unmet, 500, 1e-9) {
+		t.Fatal("drained + unmet must equal need")
+	}
+}
+
+func TestDrainPlanZeroNeed(t *testing.T) {
+	drains, unmet := DrainPlan(nil, []float64{100, 100}, 0, 50)
+	if unmet != 0 || drains[0] != 0 || drains[1] != 0 {
+		t.Fatalf("zero need produced work: %v %v", drains, unmet)
+	}
+}
+
+// Conservation property: drained total + unmet always equals need, no
+// layer exceeds its buffer or the per-layer cap.
+func TestDrainPlanConservationProperty(t *testing.T) {
+	f := func(b0, b1, b2 uint16, needRaw uint16) bool {
+		bufs := []float64{float64(b0), float64(b1), float64(b2)}
+		need := float64(needRaw)
+		ladder := StateLadder(1500, 3, 0, 3, tC, tS)
+		drains, unmet := DrainPlan(ladder, bufs, need, 800)
+		sum := 0.0
+		for i, d := range drains {
+			if d < -1e-9 || d > bufs[i]+1e-9 || d > 800+1e-9 {
+				return false
+			}
+			sum += d
+		}
+		return almostEq(sum+unmet, need, 1e-6) && unmet >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,273 @@
+// Package figures regenerates every figure and table of the paper's
+// evaluation (§5) from the simulator: Fig 1 (RAP sawtooth), Fig 2
+// (filling/draining with receiver buffering), Fig 11 (detailed T1 trace),
+// Fig 12 (effect of Kmax), Fig 13 (responsiveness to a CBR burst), and
+// Tables 1-2 (buffering efficiency and poor-distribution drops).
+//
+// All presets use the paper-axis scale by default (C = 10 KB/s, the
+// published figure axes); see DESIGN.md for why the raw 800 Kb/s / 20
+// flow parameterization puts TCP in a degenerate two-packet-window
+// regime.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"qav/internal/scenario"
+	"qav/internal/trace"
+)
+
+// DefaultScale reproduces the paper's published figure axes
+// (C = 10 KB/s with the QA flow at 20-40+ KB/s).
+const DefaultScale = 8.0
+
+// Result is one regenerated figure: its time series plus a summary of
+// scalar facts a test or reader can check against the paper.
+type Result struct {
+	Name    string
+	Series  *trace.Set
+	Summary []Fact
+	Run     *scenario.Result // last underlying run (nil for tables)
+}
+
+// Fact is one scalar finding with the paper's corresponding claim.
+type Fact struct {
+	Key   string
+	Value float64
+	Note  string
+}
+
+// fact appends a summary fact.
+func (r *Result) fact(key string, v float64, note string) {
+	r.Summary = append(r.Summary, Fact{Key: key, Value: v, Note: note})
+}
+
+// Get returns a summary fact value by key (0 if absent).
+func (r *Result) Get(key string) float64 {
+	for _, f := range r.Summary {
+		if f.Key == key {
+			return f.Value
+		}
+	}
+	return 0
+}
+
+// Render writes the summary and all series as commented TSV.
+func (r *Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s\n", r.Name); err != nil {
+		return err
+	}
+	for _, f := range r.Summary {
+		if _, err := fmt.Fprintf(w, "# %-28s %12.3f   %s\n", f.Key, f.Value, f.Note); err != nil {
+			return err
+		}
+	}
+	return r.Series.WriteTSV(w)
+}
+
+// Figure1 regenerates the RAP sawtooth trace: one RAP flow alone on a
+// small bottleneck, transmission rate vs time against the link bandwidth.
+func Figure1() (*Result, error) {
+	cfg := scenario.SingleRAP()
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Name: "Figure 1: transmission rate of a single RAP flow", Run: res}
+	out.Series = trace.NewSet()
+	rate := res.Series.Get("rap0.rate")
+	dst := out.Series.Series("rap.rate")
+	lnk := out.Series.Series("link.bandwidth")
+	for i := range rate.T {
+		dst.Add(rate.T[i], rate.V[i])
+		lnk.Add(rate.T[i], cfg.BottleneckRate)
+	}
+	out.fact("avg_rate", rate.AvgBetween(10, cfg.Duration), "average of sawtooth; paper: hunts around fair share")
+	out.fact("backoffs", float64(res.RAPSrcs[0].Snd.Backoffs), "multiplicative decreases (sawtooth teeth)")
+	out.fact("link_bw", cfg.BottleneckRate, "bottleneck bandwidth (B/s)")
+	return out, nil
+}
+
+// Figure2 regenerates the conceptual filling/draining demonstration: a
+// single QA flow whose receiver buffers absorb backoffs while layers
+// keep playing.
+func Figure2() (*Result, error) {
+	cfg := scenario.SingleQA(2)
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Name: "Figure 2: layered encoding with receiver buffering", Run: res}
+	out.Series = res.Series
+	out.fact("max_layers", res.Series.Get("qa.layers").Max(), "layers reached on a 12 KB/s link with C=3 KB/s")
+	out.fact("backoffs", float64(res.Stats.Backoffs), "congestion backoffs absorbed")
+	out.fact("stall_sec", res.StallSec, "playback stalls (paper: buffering prevents dropouts)")
+	out.fact("buf_l0_max", res.Series.Get("qa.buf.l0").Max(), "peak base-layer buffering (B)")
+	return out, nil
+}
+
+// Figure11 regenerates the detailed T1 trace: total transmit and
+// consumption rate, per-layer transmit-rate breakdown, per-layer drain
+// rate, and per-layer buffered data, with Kmax = 2 as in the paper.
+func Figure11(kmax int, scale float64) (*Result, error) {
+	cfg := scenario.T1(kmax, scale)
+	cfg.Duration = 40 // the paper shows the first 40 seconds
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Name:   fmt.Sprintf("Figure 11: first 40 seconds of the Kmax=%d T1 trace", kmax),
+		Series: res.Series,
+		Run:    res,
+	}
+	out.fact("avg_rate", res.Series.Get("qa.rate").AvgBetween(10, 40), "QA flow transmission rate (B/s)")
+	out.fact("avg_layers", res.Series.Get("qa.layers").AvgBetween(10, 40), "active layers")
+	out.fact("buf_l0_avg", res.Series.Get("qa.buf.l0").AvgBetween(10, 40), "base layer buffers most (paper Fig 11)")
+	out.fact("buf_l3_avg", res.Series.Get("qa.buf.l3").AvgBetween(10, 40), "highest traced layer buffers least")
+	out.fact("stall_sec", res.StallSec, "playback stalls (paper: none)")
+	return out, nil
+}
+
+// Figure12 regenerates the Kmax comparison: number of active layers and
+// per-layer buffering for Kmax in {2, 3, 4}.
+func Figure12(scale float64) (*Result, error) {
+	out := &Result{Name: "Figure 12: effect of Kmax on buffering and quality", Series: trace.NewSet()}
+	for _, kmax := range []int{2, 3, 4} {
+		cfg := scenario.T1(kmax, scale)
+		res, err := scenario.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		layers := res.Series.Get("qa.layers")
+		buft := res.Series.Get("qa.buftotal")
+		dstL := out.Series.Series(fmt.Sprintf("kmax%d.layers", kmax))
+		dstB := out.Series.Series(fmt.Sprintf("kmax%d.buftotal", kmax))
+		for i := range layers.T {
+			dstL.Add(layers.T[i], layers.V[i])
+			dstB.Add(buft.T[i], buft.V[i])
+		}
+		changes := res.Stats.Adds + res.Stats.Drops
+		out.fact(fmt.Sprintf("kmax%d.changes", kmax), float64(changes), "quality changes (fewer with higher Kmax)")
+		out.fact(fmt.Sprintf("kmax%d.buf_avg", kmax), buft.AvgBetween(30, cfg.Duration), "avg total buffering (more with higher Kmax)")
+		out.fact(fmt.Sprintf("kmax%d.buf_max", kmax), buft.Max(), "peak total buffering")
+		out.Run = res
+	}
+	return out, nil
+}
+
+// Figure13 regenerates the responsiveness experiment: T2's CBR source at
+// half the bottleneck bandwidth from t=30s to t=60s, Kmax = 4.
+func Figure13(scale float64) (*Result, error) {
+	cfg := scenario.T2(4, scale)
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Name: "Figure 13: effect of long-term changes in bandwidth (CBR burst)", Series: res.Series, Run: res}
+	layers := res.Series.Get("qa.layers")
+	out.fact("layers_before", layers.AvgBetween(15, 30), "avg layers before the burst")
+	out.fact("layers_during", layers.AvgBetween(40, 60), "avg layers during the burst (drops)")
+	out.fact("layers_after", layers.AvgBetween(75, 90), "avg layers after the burst (recovers)")
+	out.fact("stall_sec", res.StallSec, "base layer never jeopardized (paper)")
+	out.fact("drops", float64(res.Stats.Drops), "layer drops")
+	out.fact("adds", float64(res.Stats.Adds), "layer additions")
+	return out, nil
+}
+
+// TableCell is one (test, Kmax) sweep outcome.
+type TableCell struct {
+	Test string
+	Kmax int
+	trace.DropStats
+}
+
+// TablesSweep runs the Table 1/2 sweep: tests T1 and T2 for each Kmax.
+// The paper uses Kmax in {2, 3, 4, 5, 8}.
+func TablesSweep(kmaxes []int, scale float64) ([]TableCell, error) {
+	if len(kmaxes) == 0 {
+		kmaxes = []int{2, 3, 4, 5, 8}
+	}
+	var cells []TableCell
+	for _, test := range []string{"T1", "T2"} {
+		for _, kmax := range kmaxes {
+			var cfg scenario.Config
+			if test == "T1" {
+				cfg = scenario.T1(kmax, scale)
+			} else {
+				cfg = scenario.T2(kmax, scale)
+			}
+			res, err := scenario.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, TableCell{Test: test, Kmax: kmax, DropStats: res.Stats})
+		}
+	}
+	return cells, nil
+}
+
+// RenderTables writes Table 1 (buffering efficiency) and Table 2 (drops
+// due to poor buffer distribution) from sweep cells.
+func RenderTables(w io.Writer, cells []TableCell) error {
+	kset := map[int]bool{}
+	for _, c := range cells {
+		kset[c.Kmax] = true
+	}
+	var kmaxes []int
+	for k := range kset {
+		kmaxes = append(kmaxes, k)
+	}
+	sort.Ints(kmaxes)
+	byKey := map[string]TableCell{}
+	for _, c := range cells {
+		byKey[fmt.Sprintf("%s/%d", c.Test, c.Kmax)] = c
+	}
+
+	render := func(title string, f func(TableCell) string) error {
+		if _, err := fmt.Fprintf(w, "%s\n      ", title); err != nil {
+			return err
+		}
+		for _, k := range kmaxes {
+			if _, err := fmt.Fprintf(w, "Kmax=%-8d", k); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(w)
+		for _, test := range []string{"T1", "T2"} {
+			if _, err := fmt.Fprintf(w, "%-6s", test); err != nil {
+				return err
+			}
+			for _, k := range kmaxes {
+				c, ok := byKey[fmt.Sprintf("%s/%d", test, k)]
+				cell := "-"
+				if ok {
+					cell = f(c)
+				}
+				if _, err := fmt.Fprintf(w, "%-13s", cell); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+
+	if err := render("Table 1: buffering efficiency e (paper: 96-99.99%)", func(c TableCell) string {
+		if c.Drops == 0 {
+			return "no-drops"
+		}
+		return fmt.Sprintf("%.2f%%", 100*c.AvgEfficiency)
+	}); err != nil {
+		return err
+	}
+	return render("Table 2: drops due to poor buffer distribution (paper: 0-11%)", func(c TableCell) string {
+		if c.Drops == 0 {
+			return "no-drops"
+		}
+		return fmt.Sprintf("%.1f%%", c.PoorDistPct)
+	})
+}

@@ -1,0 +1,107 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qav/internal/trace"
+)
+
+func TestFigure1ShapeMatchesPaper(t *testing.T) {
+	res, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sawtooth: many backoffs, average near the link bandwidth.
+	if res.Get("backoffs") < 10 {
+		t.Fatalf("only %v backoffs; no sawtooth", res.Get("backoffs"))
+	}
+	avg, bw := res.Get("avg_rate"), res.Get("link_bw")
+	if avg < 0.5*bw || avg > 1.5*bw {
+		t.Fatalf("avg rate %v not around link bandwidth %v", avg, bw)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "rap.rate") {
+		t.Fatalf("render missing expected content:\n%.300s", out)
+	}
+}
+
+func TestFigure2ShapeMatchesPaper(t *testing.T) {
+	res, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Get("max_layers") < 2 {
+		t.Fatalf("max layers %v; expected multiple layers on a private link", res.Get("max_layers"))
+	}
+	if res.Get("backoffs") < 5 {
+		t.Fatalf("backoffs %v; expected sawtooth cycles", res.Get("backoffs"))
+	}
+	if res.Get("stall_sec") > 1 {
+		t.Fatalf("stalled %vs; buffering must prevent dropouts", res.Get("stall_sec"))
+	}
+	if res.Get("buf_l0_max") <= 0 {
+		t.Fatal("base layer never buffered")
+	}
+}
+
+func TestRenderTablesFormatting(t *testing.T) {
+	cells := []TableCell{
+		{Test: "T1", Kmax: 2, DropStats: trace.DropStats{Drops: 10, AvgEfficiency: 0.9977, PoorDistPct: 0}},
+		{Test: "T1", Kmax: 8, DropStats: trace.DropStats{Drops: 4, AvgEfficiency: 0.9999, PoorDistPct: 0}},
+		{Test: "T2", Kmax: 2, DropStats: trace.DropStats{Drops: 20, AvgEfficiency: 0.9915, PoorDistPct: 2.4}},
+		{Test: "T2", Kmax: 8, DropStats: trace.DropStats{}},
+	}
+	var buf bytes.Buffer
+	if err := RenderTables(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Table 2", "99.77%", "2.4%", "no-drops", "Kmax=2", "Kmax=8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestResultGetMissingKey(t *testing.T) {
+	r := &Result{}
+	if r.Get("nope") != 0 {
+		t.Fatal("missing key should return 0")
+	}
+}
+
+// The expensive paper-scale figures run only outside -short.
+func TestFigure11And13ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale simulation")
+	}
+	f11, err := Figure11(2, DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f11.Get("buf_l0_avg") <= f11.Get("buf_l3_avg") {
+		t.Fatalf("Fig 11: base layer (%v) must buffer more than layer 3 (%v)",
+			f11.Get("buf_l0_avg"), f11.Get("buf_l3_avg"))
+	}
+	if f11.Get("stall_sec") > 1 {
+		t.Fatalf("Fig 11: stalled %vs", f11.Get("stall_sec"))
+	}
+
+	f13, err := Figure13(DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, during, after := f13.Get("layers_before"), f13.Get("layers_during"), f13.Get("layers_after")
+	if !(during < before && after > during) {
+		t.Fatalf("Fig 13 shape wrong: before=%v during=%v after=%v", before, during, after)
+	}
+	if f13.Get("stall_sec") > 2 {
+		t.Fatalf("Fig 13: base layer starved %vs", f13.Get("stall_sec"))
+	}
+}

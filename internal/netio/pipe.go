@@ -1,0 +1,198 @@
+package netio
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// PipeConfig describes one direction of an emulated network path.
+type PipeConfig struct {
+	// Rate limits throughput in bytes/s (0 = unlimited).
+	Rate float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Loss is an independent per-packet drop probability in [0,1).
+	Loss float64
+	// QueueBytes bounds the emulated queue when Rate is set (default 64 KiB).
+	QueueBytes int
+}
+
+// Pipe is a bidirectional UDP relay with per-direction bandwidth, delay,
+// and loss — an in-process stand-in for a congested Internet path, so the
+// paper's "experimental results" code path runs on loopback. The client
+// talks to the pipe's listen address; the pipe forwards to the server and
+// relays replies back to the most recent client.
+type Pipe struct {
+	listen   *net.UDPConn // client-facing socket
+	upstream *net.UDPConn // connected to the server
+
+	up, down PipeConfig // client->server, server->client
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	client    *net.UDPAddr
+	upFree    time.Time // next time the up "link" is free
+	downFree  time.Time
+	closed    bool
+	wg        sync.WaitGroup
+	UpDrops   int64
+	DownDrops int64
+}
+
+// NewPipe starts a relay listening on listenAddr and forwarding to
+// serverAddr. Returns the pipe; Addr() is what clients should dial.
+func NewPipe(listenAddr, serverAddr string, up, down PipeConfig, seed int64) (*Pipe, error) {
+	la, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netio: resolve listen: %w", err)
+	}
+	sa, err := net.ResolveUDPAddr("udp", serverAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netio: resolve server: %w", err)
+	}
+	lc, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("netio: listen: %w", err)
+	}
+	uc, err := net.DialUDP("udp", nil, sa)
+	if err != nil {
+		lc.Close()
+		return nil, fmt.Errorf("netio: dial server: %w", err)
+	}
+	if up.QueueBytes <= 0 {
+		up.QueueBytes = 64 << 10
+	}
+	if down.QueueBytes <= 0 {
+		down.QueueBytes = 64 << 10
+	}
+	p := &Pipe{
+		listen:   lc,
+		upstream: uc,
+		up:       up,
+		down:     down,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	p.wg.Add(2)
+	go p.clientLoop()
+	go p.serverLoop()
+	return p, nil
+}
+
+// Addr returns the address clients should send to.
+func (p *Pipe) Addr() string { return p.listen.LocalAddr().String() }
+
+// Close stops the relay.
+func (p *Pipe) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.listen.Close()
+	p.upstream.Close()
+	p.wg.Wait()
+	return nil
+}
+
+func (p *Pipe) clientLoop() {
+	defer p.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, addr, err := p.listen.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		p.client = addr
+		p.mu.Unlock()
+		pkt := append([]byte(nil), buf[:n]...)
+		p.impair(pkt, true)
+	}
+}
+
+func (p *Pipe) serverLoop() {
+	defer p.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := p.upstream.Read(buf)
+		if err != nil {
+			return
+		}
+		pkt := append([]byte(nil), buf[:n]...)
+		p.impair(pkt, false)
+	}
+}
+
+// impair applies loss, rate limiting, and delay, then forwards.
+func (p *Pipe) impair(pkt []byte, toServer bool) {
+	cfg := p.down
+	if toServer {
+		cfg = p.up
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	if cfg.Loss > 0 && p.rng.Float64() < cfg.Loss {
+		p.drop(toServer)
+		p.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	depart := now
+	if cfg.Rate > 0 {
+		free := p.downFree
+		if toServer {
+			free = p.upFree
+		}
+		if free.After(now) {
+			depart = free
+		}
+		// Queue bound: bytes "in flight" in the shaper.
+		queued := depart.Sub(now).Seconds() * cfg.Rate
+		if queued > float64(cfg.QueueBytes) {
+			p.drop(toServer)
+			p.mu.Unlock()
+			return
+		}
+		tx := time.Duration(float64(len(pkt)) / cfg.Rate * float64(time.Second))
+		next := depart.Add(tx)
+		if toServer {
+			p.upFree = next
+		} else {
+			p.downFree = next
+		}
+		depart = next
+	}
+	p.mu.Unlock()
+
+	deliver := func() {
+		p.mu.Lock()
+		closed, client := p.closed, p.client
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+		if toServer {
+			p.upstream.Write(pkt)
+		} else if client != nil {
+			p.listen.WriteToUDP(pkt, client)
+		}
+	}
+	wait := time.Until(depart) + cfg.Delay
+	if wait <= 0 {
+		deliver()
+	} else {
+		time.AfterFunc(wait, deliver)
+	}
+}
+
+func (p *Pipe) drop(toServer bool) {
+	if toServer {
+		p.UpDrops++
+	} else {
+		p.DownDrops++
+	}
+}

@@ -1,0 +1,311 @@
+package netio
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"qav/internal/core"
+	"qav/internal/rap"
+)
+
+// ServerConfig parameterizes a streaming server.
+type ServerConfig struct {
+	// QA configures the quality adaptation controller.
+	QA core.Params
+	// RAP configures congestion control. PacketSize is the wire size
+	// (header + payload); if zero it defaults to 512.
+	RAP rap.Config
+	// MaxStream bounds how long a single stream may run, as protection
+	// against clients that never go away (0 = 1 hour).
+	MaxStream time.Duration
+}
+
+// ServerStats is a point-in-time snapshot of the sender state.
+type ServerStats struct {
+	Rate         float64
+	SRTT         float64
+	ActiveLayers int
+	Buffers      []float64
+	SentPkts     int64
+	AckedPkts    int64
+	Backoffs     int64
+	SentByLayer  [16]int64
+	Retransmits  int64
+	Events       []core.Event
+}
+
+// Server streams layered data over UDP to one client at a time, pacing
+// packets at the RAP rate and assigning each packet to a layer via the
+// quality adaptation controller.
+type Server struct {
+	cfg  ServerConfig
+	conn *net.UDPConn
+
+	mu          sync.Mutex
+	snd         *rap.Sender
+	ctrl        *core.Controller
+	start       time.Time
+	seqLayer    map[int64]int
+	payload     []byte
+	sentByLayer [16]int64
+	layerOff    [16]int64 // next byte offset per layer's stream
+	nackQueue   []nack    // pending selective retransmissions
+	Retransmits int64
+}
+
+// nack is a pending retransmission request.
+type nack struct {
+	layer int
+	off   int64
+	n     int
+}
+
+// NewServer wraps an already-bound UDP socket.
+func NewServer(conn *net.UDPConn, cfg ServerConfig) (*Server, error) {
+	if cfg.RAP.PacketSize <= 0 {
+		cfg.RAP.PacketSize = 512
+	}
+	if cfg.RAP.PacketSize <= DataHeaderLen {
+		return nil, fmt.Errorf("netio: packet size %d <= header %d", cfg.RAP.PacketSize, DataHeaderLen)
+	}
+	if cfg.MaxStream <= 0 {
+		cfg.MaxStream = time.Hour
+	}
+	ctrl, err := core.NewController(cfg.QA)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		conn:     conn,
+		snd:      rap.NewSender(cfg.RAP),
+		ctrl:     ctrl,
+		start:    time.Now(),
+		seqLayer: make(map[int64]int),
+		payload:  make([]byte, cfg.RAP.PacketSize-DataHeaderLen),
+	}, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+func (s *Server) now() float64 { return time.Since(s.start).Seconds() }
+
+// Stats returns a snapshot of the sender state.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev := make([]core.Event, len(s.ctrl.Events))
+	copy(ev, s.ctrl.Events)
+	return ServerStats{
+		Rate:         s.snd.Rate(),
+		SRTT:         s.snd.SRTT(),
+		ActiveLayers: s.ctrl.ActiveLayers(),
+		Buffers:      s.ctrl.Buffers(),
+		SentPkts:     s.snd.Sent,
+		AckedPkts:    s.snd.Acked,
+		Backoffs:     s.snd.Backoffs,
+		SentByLayer:  s.sentByLayer,
+		Retransmits:  s.Retransmits,
+		Events:       ev,
+	}
+}
+
+// Serve waits for one stream request and serves it, then returns. Cancel
+// ctx to stop early.
+func (s *Server) Serve(ctx context.Context) error {
+	client, dur, err := s.awaitRequest(ctx)
+	if err != nil {
+		return err
+	}
+	if dur > s.cfg.MaxStream {
+		dur = s.cfg.MaxStream
+	}
+	return s.stream(ctx, client, dur)
+}
+
+func (s *Server) awaitRequest(ctx context.Context) (*net.UDPAddr, time.Duration, error) {
+	buf := make([]byte, 64<<10)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		s.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, addr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return nil, 0, err
+		}
+		k, err := Kind(buf[:n])
+		if err != nil || k != KindReq {
+			continue
+		}
+		req, err := DecodeReq(buf[:n])
+		if err != nil {
+			continue
+		}
+		return addr, time.Duration(req.DurationMs) * time.Millisecond, nil
+	}
+}
+
+// stream paces data packets to client for dur while processing ACKs.
+func (s *Server) stream(ctx context.Context, client *net.UDPAddr, dur time.Duration) error {
+	deadline := time.Now().Add(dur)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.ackLoop(stop)
+	}()
+	defer func() {
+		close(stop)
+		// Unblock the ack reader promptly.
+		s.conn.SetReadDeadline(time.Now())
+		wg.Wait()
+		s.conn.SetReadDeadline(time.Time{})
+	}()
+
+	buf := make([]byte, s.cfg.RAP.PacketSize)
+	lastStep := s.now()
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		now := s.now()
+		if now-lastStep >= s.snd.StepInterval() {
+			if b := s.snd.Step(now); b != nil {
+				s.ctrl.OnBackoff(now, b.NewRate, s.snd.ConservativeSlope())
+				s.forget(b.LostSeqs)
+			}
+			lastStep = now
+		}
+		var layer int
+		var off int64
+		retrans := false
+		// Selective retransmission (§1.3): when the rate exceeds the
+		// consumption rate, spend the next slot repairing the oldest
+		// requested hole instead of sending new data. Retransmissions
+		// remain congestion controlled (they consume a send slot).
+		if len(s.nackQueue) > 0 && s.snd.Rate() >= s.ctrl.ConsumptionRate() {
+			nk := s.nackQueue[0]
+			s.nackQueue = s.nackQueue[1:]
+			layer, off, retrans = nk.layer, nk.off, true
+			s.Retransmits++
+			s.ctrl.Tick(now, s.snd.Rate(), s.snd.ConservativeSlope())
+		} else {
+			layer = s.ctrl.PickLayer(now, s.snd.Rate(), s.snd.ConservativeSlope(), s.cfg.RAP.PacketSize)
+			off = s.layerOff[layer]
+			s.layerOff[layer] += int64(s.cfg.RAP.PacketSize)
+		}
+		seq := s.snd.OnSend(now)
+		if !retrans {
+			// Retransmitted bytes sit behind the playout point; they
+			// repair holes but do not extend the receiver's buffer, so
+			// they are not credited to the controller on ACK.
+			s.seqLayer[seq] = layer
+		}
+		if layer >= 0 && layer < len(s.sentByLayer) {
+			s.sentByLayer[layer]++
+		}
+		ipg := s.snd.IPG()
+		s.mu.Unlock()
+
+		n, err := EncodeData(buf, DataHeader{
+			Seq:        seq,
+			Layer:      uint8(layer),
+			LayerOff:   off,
+			SendMicros: uint64(now * 1e6),
+		}, s.payload)
+		if err != nil {
+			return err
+		}
+		if _, err := s.conn.WriteToUDP(buf[:n], client); err != nil {
+			return fmt.Errorf("netio: send: %w", err)
+		}
+		sleepCtx(ctx, time.Duration(ipg*float64(time.Second)))
+	}
+	return nil
+}
+
+func (s *Server) ackLoop(stop <-chan struct{}) {
+	buf := make([]byte, 64<<10)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		s.conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		n, _, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		if k, err := Kind(buf[:n]); err != nil || k != KindAck {
+			continue
+		}
+		a, err := DecodeAck(buf[:n])
+		if err != nil {
+			continue
+		}
+		s.mu.Lock()
+		now := s.now()
+		if b := s.snd.OnAck(now, a.AckSeq); b != nil {
+			s.ctrl.OnBackoff(now, b.NewRate, s.snd.ConservativeSlope())
+			s.forget(b.LostSeqs)
+		}
+		if layer, ok := s.seqLayer[a.AckSeq]; ok {
+			delete(s.seqLayer, a.AckSeq)
+			s.ctrl.OnDelivered(now, layer, s.cfg.RAP.PacketSize)
+		}
+		if a.NackLayer != NoNack && int(a.NackLayer) < len(s.layerOff) && len(s.nackQueue) < 64 {
+			// Quantize the request to packet-aligned offsets and bound
+			// it to one packet per queue entry.
+			pkt := int64(s.cfg.RAP.PacketSize)
+			off := a.NackOff - a.NackOff%pkt
+			if off >= 0 && off < s.layerOff[a.NackLayer] && !s.nackQueued(int(a.NackLayer), off) {
+				s.nackQueue = append(s.nackQueue, nack{layer: int(a.NackLayer), off: off, n: int(pkt)})
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// nackQueued reports whether a retransmission for (layer, off) is
+// already pending. Callers hold s.mu.
+func (s *Server) nackQueued(layer int, off int64) bool {
+	for _, nk := range s.nackQueue {
+		if nk.layer == layer && nk.off == off {
+			return true
+		}
+	}
+	return false
+}
+
+// forget drops layer attribution for lost packets. Callers hold s.mu.
+func (s *Server) forget(seqs []int64) {
+	for _, q := range seqs {
+		delete(s.seqLayer, q)
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -1,0 +1,189 @@
+// Package netio runs the RAP + quality adaptation stack over real UDP
+// sockets, standing in for the paper's Internet experiments. A compact
+// binary wire format carries layered data packets and per-packet
+// acknowledgements; an in-process emulator (Pipe) imposes bandwidth,
+// delay, and loss on loopback so the experiments run self-contained.
+package netio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire protocol constants.
+const (
+	// Magic identifies QAV datagrams.
+	Magic uint16 = 0x5156 // "QV"
+	// Version of the wire format.
+	Version byte = 1
+
+	// KindData is a forward-path layered payload packet.
+	KindData byte = 0
+	// KindAck acknowledges a single data packet.
+	KindAck byte = 1
+	// KindReq is the client's stream request.
+	KindReq byte = 2
+
+	// DataHeaderLen is the byte length of a data packet header.
+	DataHeaderLen = 2 + 1 + 1 + 8 + 1 + 8 + 8 + 2
+	// AckLen is the byte length of an acknowledgement packet.
+	AckLen = 2 + 1 + 1 + 8 + 8 + 1 + 8 + 4
+	// ReqLen is the byte length of a stream request.
+	ReqLen = 2 + 1 + 1 + 4
+)
+
+// Common decode errors.
+var (
+	ErrShortPacket = errors.New("netio: packet too short")
+	ErrBadMagic    = errors.New("netio: bad magic")
+	ErrBadVersion  = errors.New("netio: unsupported version")
+)
+
+// DataHeader describes one layered data packet.
+type DataHeader struct {
+	Seq        int64
+	Layer      uint8
+	LayerOff   int64  // byte offset of this packet within its layer's stream
+	SendMicros uint64 // sender clock, microseconds
+	PayloadLen uint16
+}
+
+// EncodeData writes a data packet (header + payload) into buf and
+// returns the total length. buf must hold DataHeaderLen+len(payload).
+func EncodeData(buf []byte, h DataHeader, payload []byte) (int, error) {
+	total := DataHeaderLen + len(payload)
+	if len(buf) < total {
+		return 0, fmt.Errorf("netio: buffer %d too small for %d", len(buf), total)
+	}
+	if len(payload) > int(^uint16(0)) {
+		return 0, fmt.Errorf("netio: payload %d exceeds uint16", len(payload))
+	}
+	binary.BigEndian.PutUint16(buf[0:], Magic)
+	buf[2] = Version
+	buf[3] = KindData
+	binary.BigEndian.PutUint64(buf[4:], uint64(h.Seq))
+	buf[12] = h.Layer
+	binary.BigEndian.PutUint64(buf[13:], uint64(h.LayerOff))
+	binary.BigEndian.PutUint64(buf[21:], h.SendMicros)
+	binary.BigEndian.PutUint16(buf[29:], uint16(len(payload)))
+	copy(buf[DataHeaderLen:], payload)
+	return total, nil
+}
+
+// DecodeData parses a data packet; the returned payload aliases b.
+func DecodeData(b []byte) (DataHeader, []byte, error) {
+	var h DataHeader
+	if err := checkHeader(b, DataHeaderLen, KindData); err != nil {
+		return h, nil, err
+	}
+	h.Seq = int64(binary.BigEndian.Uint64(b[4:]))
+	h.Layer = b[12]
+	h.LayerOff = int64(binary.BigEndian.Uint64(b[13:]))
+	h.SendMicros = binary.BigEndian.Uint64(b[21:])
+	h.PayloadLen = binary.BigEndian.Uint16(b[29:])
+	if len(b) < DataHeaderLen+int(h.PayloadLen) {
+		return h, nil, ErrShortPacket
+	}
+	return h, b[DataHeaderLen : DataHeaderLen+int(h.PayloadLen)], nil
+}
+
+// NoNack marks an acknowledgement without a retransmission request.
+const NoNack = 0xFF
+
+// Ack acknowledges one data packet and echoes its send timestamp. It
+// optionally carries one negative acknowledgement: the oldest hole in a
+// layer's byte stream the receiver wants retransmitted (the selective
+// retransmission opportunity of §1.3 — lower layers matter most).
+type Ack struct {
+	AckSeq     int64
+	EchoMicros uint64
+	NackLayer  uint8 // NoNack = no retransmission request
+	NackOff    int64
+	NackLen    uint32
+}
+
+// EncodeAck writes an acknowledgement into buf and returns its length.
+func EncodeAck(buf []byte, a Ack) (int, error) {
+	if len(buf) < AckLen {
+		return 0, fmt.Errorf("netio: buffer %d too small for ack", len(buf))
+	}
+	binary.BigEndian.PutUint16(buf[0:], Magic)
+	buf[2] = Version
+	buf[3] = KindAck
+	binary.BigEndian.PutUint64(buf[4:], uint64(a.AckSeq))
+	binary.BigEndian.PutUint64(buf[12:], a.EchoMicros)
+	buf[20] = a.NackLayer
+	binary.BigEndian.PutUint64(buf[21:], uint64(a.NackOff))
+	binary.BigEndian.PutUint32(buf[29:], a.NackLen)
+	return AckLen, nil
+}
+
+// DecodeAck parses an acknowledgement.
+func DecodeAck(b []byte) (Ack, error) {
+	var a Ack
+	if err := checkHeader(b, AckLen, KindAck); err != nil {
+		return a, err
+	}
+	a.AckSeq = int64(binary.BigEndian.Uint64(b[4:]))
+	a.EchoMicros = binary.BigEndian.Uint64(b[12:])
+	a.NackLayer = b[20]
+	a.NackOff = int64(binary.BigEndian.Uint64(b[21:]))
+	a.NackLen = binary.BigEndian.Uint32(b[29:])
+	return a, nil
+}
+
+// Req asks the server to stream for a bounded duration.
+type Req struct {
+	DurationMs uint32
+}
+
+// EncodeReq writes a stream request into buf and returns its length.
+func EncodeReq(buf []byte, r Req) (int, error) {
+	if len(buf) < ReqLen {
+		return 0, fmt.Errorf("netio: buffer %d too small for req", len(buf))
+	}
+	binary.BigEndian.PutUint16(buf[0:], Magic)
+	buf[2] = Version
+	buf[3] = KindReq
+	binary.BigEndian.PutUint32(buf[4:], r.DurationMs)
+	return ReqLen, nil
+}
+
+// DecodeReq parses a stream request.
+func DecodeReq(b []byte) (Req, error) {
+	var r Req
+	if err := checkHeader(b, ReqLen, KindReq); err != nil {
+		return r, err
+	}
+	r.DurationMs = binary.BigEndian.Uint32(b[4:])
+	return r, nil
+}
+
+// Kind returns the packet kind byte, or an error for foreign datagrams.
+func Kind(b []byte) (byte, error) {
+	if len(b) < 4 {
+		return 0, ErrShortPacket
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return 0, ErrBadMagic
+	}
+	if b[2] != Version {
+		return 0, ErrBadVersion
+	}
+	return b[3], nil
+}
+
+func checkHeader(b []byte, minLen int, kind byte) error {
+	k, err := Kind(b)
+	if err != nil {
+		return err
+	}
+	if len(b) < minLen {
+		return ErrShortPacket
+	}
+	if k != kind {
+		return fmt.Errorf("netio: kind %d, want %d", k, kind)
+	}
+	return nil
+}

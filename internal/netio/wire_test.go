@@ -1,0 +1,135 @@
+package netio
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDataRoundTrip(t *testing.T) {
+	payload := []byte("hello layered world")
+	h := DataHeader{Seq: 123456789, Layer: 3, SendMicros: 42_000_000}
+	buf := make([]byte, DataHeaderLen+len(payload))
+	n, err := EncodeData(buf, h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != DataHeaderLen+len(payload) {
+		t.Fatalf("encoded %d bytes, want %d", n, DataHeaderLen+len(payload))
+	}
+	got, gotPayload, err := DecodeData(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != h.Seq || got.Layer != h.Layer || got.SendMicros != h.SendMicros {
+		t.Fatalf("header mismatch: %+v vs %+v", got, h)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Fatalf("payload mismatch")
+	}
+}
+
+func TestDataRoundTripProperty(t *testing.T) {
+	f := func(seq int64, layer uint8, micros uint64, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		buf := make([]byte, DataHeaderLen+len(payload))
+		n, err := EncodeData(buf, DataHeader{Seq: seq, Layer: layer, SendMicros: micros}, payload)
+		if err != nil {
+			return false
+		}
+		h, pl, err := DecodeData(buf[:n])
+		return err == nil && h.Seq == seq && h.Layer == layer &&
+			h.SendMicros == micros && bytes.Equal(pl, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	f := func(seq int64, echo uint64, nl uint8, noff int64, nlen uint32) bool {
+		buf := make([]byte, AckLen)
+		in := Ack{AckSeq: seq, EchoMicros: echo, NackLayer: nl, NackOff: noff, NackLen: nlen}
+		n, err := EncodeAck(buf, in)
+		if err != nil || n != AckLen {
+			return false
+		}
+		a, err := DecodeAck(buf[:n])
+		return err == nil && a == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataHeaderCarriesLayerOffset(t *testing.T) {
+	buf := make([]byte, DataHeaderLen)
+	h := DataHeader{Seq: 9, Layer: 2, LayerOff: 123456, SendMicros: 1}
+	if _, err := EncodeData(buf, h, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeData(buf)
+	if err != nil || got.LayerOff != 123456 {
+		t.Fatalf("LayerOff round trip: %+v err=%v", got, err)
+	}
+}
+
+func TestReqRoundTrip(t *testing.T) {
+	buf := make([]byte, ReqLen)
+	n, err := EncodeReq(buf, Req{DurationMs: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := DecodeReq(buf[:n])
+	if err != nil || r.DurationMs != 30_000 {
+		t.Fatalf("req round trip: %+v err=%v", r, err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeData(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, _, err := DecodeData([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short accepted")
+	}
+	bad := make([]byte, DataHeaderLen)
+	if _, _, err := DecodeData(bad); err != ErrBadMagic {
+		t.Fatalf("zero magic: err = %v, want ErrBadMagic", err)
+	}
+	// Right magic, wrong version.
+	bad[0], bad[1], bad[2] = 0x51, 0x56, 99
+	if _, _, err := DecodeData(bad); err != ErrBadVersion {
+		t.Fatalf("bad version: err = %v", err)
+	}
+	// Data header claims a longer payload than present.
+	buf := make([]byte, DataHeaderLen+4)
+	if _, err := EncodeData(buf, DataHeader{Seq: 1}, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeData(buf[:DataHeaderLen+2]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Kind confusion: an ack is not a data packet.
+	ab := make([]byte, AckLen)
+	if _, err := EncodeAck(ab, Ack{AckSeq: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeData(ab); err == nil {
+		t.Fatal("ack decoded as data")
+	}
+}
+
+func TestEncodeBufferTooSmall(t *testing.T) {
+	if _, err := EncodeData(make([]byte, 4), DataHeader{}, []byte("xx")); err == nil {
+		t.Fatal("tiny buffer accepted")
+	}
+	if _, err := EncodeAck(make([]byte, 4), Ack{}); err == nil {
+		t.Fatal("tiny ack buffer accepted")
+	}
+	if _, err := EncodeReq(make([]byte, 2), Req{}); err == nil {
+		t.Fatal("tiny req buffer accepted")
+	}
+}

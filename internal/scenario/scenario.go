@@ -1,0 +1,286 @@
+package scenario
+
+import (
+	"fmt"
+
+	"qav/internal/cbr"
+	"qav/internal/core"
+	"qav/internal/rap"
+	"qav/internal/sim"
+	"qav/internal/tcp"
+	"qav/internal/trace"
+)
+
+// Config describes one evaluation run. The zero value is not valid; use
+// one of the preset constructors (T1, T2, SingleRAP, SingleQA) or fill
+// everything explicitly.
+type Config struct {
+	Name string
+
+	// Topology.
+	BottleneckRate float64 // bytes/s
+	LinkDelay      float64 // bottleneck one-way propagation, seconds
+	AccessDelay    float64 // per-source access delay, seconds
+	QueueBytes     int     // bottleneck buffer
+	UseRED         bool    // RED instead of DropTail at the bottleneck
+	REDSeed        int64
+
+	// Traffic mix.
+	PacketSize   int
+	NumTCP       int
+	NumRAP       int // plain RAP flows (excluding the QA flow)
+	WithQA       bool
+	FineGrainRAP bool    // use the RAP variant with fine-grain adaptation
+	CBRRate      float64 // bytes/s; 0 = no CBR source
+	CBRStart     float64
+	CBRStop      float64
+
+	// Quality adaptation parameters.
+	QA core.Params
+
+	// Run control.
+	Duration       float64
+	SampleInterval float64
+	MaxTraceLayers int // per-layer series recorded (default 4, like Fig 11)
+}
+
+// Result carries everything a figure or table needs from one run.
+type Result struct {
+	Cfg    Config
+	Series *trace.Set
+	Events []core.Event
+	Stats  trace.DropStats
+
+	QASrc   *QASource
+	RAPSrcs []*RAPSource
+	TCPSrcs []*tcp.Source
+
+	// PlayedSec/StallSec/LayerSeconds summarize delivered quality.
+	PlayedSec    float64
+	StallSec     float64
+	LayerSeconds float64
+}
+
+// T1 is the paper's first test: the QA flow with 9 more RAP flows and 10
+// Sack-TCP flows through an 800 Kb/s, 40 ms RTT bottleneck (Fig 11).
+// The per-layer consumption rate is a quarter of the 20-flow fair share,
+// so the QA flow rides at roughly 2-4 active layers like the paper's
+// trace. scale multiplies the bottleneck (and C) to reproduce the
+// paper's published axis values (scale 8 ≈ C of 10 KB/s).
+func T1(kmax int, scale float64) Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	rate := 100_000.0 * scale // 800 Kb/s in bytes/s
+	fair := rate / 20
+	return Config{
+		Name:           fmt.Sprintf("T1(Kmax=%d)", kmax),
+		BottleneckRate: rate,
+		LinkDelay:      0.010,
+		AccessDelay:    0.005,
+		QueueBytes:     int(rate * 0.12), // ~2.4 RTT of buffering
+		PacketSize:     512,
+		NumTCP:         10,
+		NumRAP:         9,
+		WithQA:         true,
+		QA: core.Params{
+			C:          fair / 4,
+			Kmax:       kmax,
+			MaxLayers:  8,
+			StartupSec: 1.0,
+		},
+		Duration:       120,
+		SampleInterval: 0.1,
+	}
+}
+
+// T2 is T1 plus a CBR burst at half the bottleneck bandwidth between 30 s
+// and 60 s (Fig 13's responsiveness experiment).
+func T2(kmax int, scale float64) Config {
+	cfg := T1(kmax, scale)
+	cfg.Name = fmt.Sprintf("T2(Kmax=%d)", kmax)
+	cfg.CBRRate = cfg.BottleneckRate / 2
+	cfg.CBRStart = 30
+	cfg.CBRStop = 60
+	cfg.Duration = 90
+	return cfg
+}
+
+// SingleRAP is Fig 1's setup: one RAP flow alone on a small bottleneck,
+// showing the sawtooth.
+func SingleRAP() Config {
+	return Config{
+		Name:           "SingleRAP",
+		BottleneckRate: 12_000, // ~12 KB/s, like Fig 1's axis
+		LinkDelay:      0.010,
+		AccessDelay:    0.005,
+		QueueBytes:     4 * 512,
+		PacketSize:     512,
+		NumRAP:         1,
+		Duration:       40,
+		SampleInterval: 0.05,
+	}
+}
+
+// SingleQA is Fig 2's conceptual setup: one QA flow alone on a bottleneck
+// sized for about two layers, so individual filling/draining phases are
+// visible.
+func SingleQA(kmax int) Config {
+	return Config{
+		Name:           "SingleQA",
+		BottleneckRate: 12_000,
+		LinkDelay:      0.010,
+		AccessDelay:    0.005,
+		QueueBytes:     4 * 512,
+		PacketSize:     512,
+		WithQA:         true,
+		QA: core.Params{
+			C:          3_000,
+			Kmax:       kmax,
+			MaxLayers:  8,
+			StartupSec: 1.0,
+		},
+		Duration:       60,
+		SampleInterval: 0.05,
+	}
+}
+
+// Run executes the scenario and collects traces and metrics.
+func Run(cfg Config) (*Result, error) {
+	if cfg.BottleneckRate <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("scenario: incomplete config %+v", cfg)
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = 0.1
+	}
+	if cfg.MaxTraceLayers <= 0 {
+		cfg.MaxTraceLayers = 4
+	}
+	if cfg.PacketSize <= 0 {
+		cfg.PacketSize = 512
+	}
+
+	eng := sim.NewEngine()
+	var queue sim.Queue
+	if cfg.UseRED {
+		queue = sim.NewRED(sim.REDConfig{
+			LimitBytes:  cfg.QueueBytes,
+			MeanPktSize: cfg.PacketSize,
+			Seed:        cfg.REDSeed,
+		})
+	}
+	net := sim.NewDumbbell(eng, sim.DumbbellConfig{
+		Rate:        cfg.BottleneckRate,
+		Delay:       cfg.LinkDelay,
+		AccessDelay: cfg.AccessDelay,
+		QueueBytes:  cfg.QueueBytes,
+		Queue:       queue,
+	})
+	baseRTT := net.BaseRTT()
+
+	res := &Result{Cfg: cfg, Series: trace.NewSet()}
+	flowID := 0
+
+	rapCfg := func() rap.Config {
+		return rap.Config{
+			PacketSize: cfg.PacketSize,
+			InitialRTT: baseRTT,
+			// Start around one fair share to shorten convergence.
+			InitialRate: cfg.BottleneckRate / float64(1+cfg.NumRAP+cfg.NumTCP),
+			FineGrain:   cfg.FineGrainRAP,
+		}
+	}
+
+	if cfg.WithQA {
+		ctrl, err := core.NewController(cfg.QA)
+		if err != nil {
+			return nil, err
+		}
+		res.QASrc = NewQASource(eng, net, flowID, rapCfg(), ctrl, 0)
+		flowID++
+	}
+	for i := 0; i < cfg.NumRAP; i++ {
+		// Stagger starts slightly to avoid phase locking.
+		start := float64(i) * 0.111
+		res.RAPSrcs = append(res.RAPSrcs, NewRAPSource(eng, net, flowID, rapCfg(), start))
+		flowID++
+	}
+	for i := 0; i < cfg.NumTCP; i++ {
+		start := 0.05 + float64(i)*0.087
+		res.TCPSrcs = append(res.TCPSrcs, tcp.NewSource(eng, net, tcp.Config{
+			FlowID:     flowID,
+			PacketSize: cfg.PacketSize,
+			InitialRTT: baseRTT,
+			Start:      start,
+		}))
+		flowID++
+	}
+	if cfg.CBRRate > 0 {
+		cbr.NewSource(eng, net, cbr.Config{
+			FlowID:     flowID,
+			Rate:       cfg.CBRRate,
+			PacketSize: cfg.PacketSize,
+			Start:      cfg.CBRStart,
+			Stop:       cfg.CBRStop,
+		})
+		flowID++
+	}
+
+	// Periodic sampler.
+	var lastSent [16]int64
+	var lastDelivered [16]int64
+	var sample func()
+	sample = func() {
+		now := eng.Now()
+		if res.QASrc != nil {
+			q := res.QASrc
+			// Tick the controller so consumption is current at sample time.
+			q.Ctrl.Tick(now, q.Snd.Rate(), q.Snd.ConservativeSlope())
+			res.Series.Series("qa.rate").Add(now, q.Snd.Rate())
+			res.Series.Series("qa.consumption").Add(now, q.Ctrl.ConsumptionRate())
+			res.Series.Series("qa.layers").Add(now, float64(q.Ctrl.ActiveLayers()))
+			res.Series.Series("qa.buftotal").Add(now, q.Ctrl.TotalBuf())
+			bufs := q.Ctrl.Buffers()
+			shares := q.Ctrl.Shares()
+			for l := 0; l < cfg.MaxTraceLayers; l++ {
+				var buf, share, drain, txRate float64
+				if l < len(bufs) {
+					buf = bufs[l]
+					share = shares[l]
+					if q.Ctrl.Playing() {
+						drain = cfg.QA.C - share
+						if drain < 0 {
+							drain = 0
+						}
+					}
+				}
+				txRate = float64(q.SentByLayer[l]-lastSent[l]) / cfg.SampleInterval
+				lastSent[l] = q.SentByLayer[l]
+				lastDelivered[l] = q.DeliveredByLayer[l]
+				res.Series.Series(fmt.Sprintf("qa.buf.l%d", l)).Add(now, buf)
+				res.Series.Series(fmt.Sprintf("qa.share.l%d", l)).Add(now, share)
+				res.Series.Series(fmt.Sprintf("qa.drain.l%d", l)).Add(now, drain)
+				res.Series.Series(fmt.Sprintf("qa.tx.l%d", l)).Add(now, txRate)
+			}
+		}
+		for i, r := range res.RAPSrcs {
+			res.Series.Series(fmt.Sprintf("rap%d.rate", i)).Add(now, r.Snd.Rate())
+		}
+		res.Series.Series("queue.bytes").Add(now, float64(net.Q.Bytes()))
+		if now+cfg.SampleInterval <= cfg.Duration {
+			eng.After(cfg.SampleInterval, sample)
+		}
+	}
+	eng.At(0, sample)
+
+	eng.RunUntil(cfg.Duration)
+
+	if res.QASrc != nil {
+		res.Events = res.QASrc.Ctrl.Events
+		res.Stats = trace.ComputeDropStats(res.Events)
+		res.PlayedSec = res.QASrc.Ctrl.PlayedSec
+		res.StallSec = res.QASrc.Ctrl.StallSec
+		res.LayerSeconds = res.QASrc.Ctrl.LayerSeconds
+	}
+	return res, nil
+}

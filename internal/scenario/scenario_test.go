@@ -1,0 +1,257 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"qav/internal/core"
+)
+
+func TestSingleRAPSawtooth(t *testing.T) {
+	cfg := SingleRAP()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := res.Series.Get("rap0.rate")
+	if rate == nil || rate.Len() == 0 {
+		t.Fatal("no rate series")
+	}
+	// The single flow must hunt around the bottleneck bandwidth: average
+	// in the second half within [50%, 145%] of capacity (rate-based AIMD
+	// overshoots while the loss feedback is in flight, exactly like the
+	// peaks in the paper's Fig 1), with multiple backoffs.
+	avg := rate.AvgBetween(cfg.Duration/2, cfg.Duration)
+	if avg < 0.5*cfg.BottleneckRate || avg > 1.45*cfg.BottleneckRate {
+		t.Fatalf("avg rate %.0f not around bottleneck %.0f", avg, cfg.BottleneckRate)
+	}
+	if res.RAPSrcs[0].Snd.Backoffs < 5 {
+		t.Fatalf("only %d backoffs in 40s; expected a sawtooth", res.RAPSrcs[0].Snd.Backoffs)
+	}
+	// Utilization: the flow should not collapse.
+	if res.RAPSrcs[0].RecvBytes < int64(0.4*cfg.BottleneckRate*cfg.Duration) {
+		t.Fatalf("goodput %d too low", res.RAPSrcs[0].RecvBytes)
+	}
+}
+
+func TestSingleQAPlaysAndBuffers(t *testing.T) {
+	cfg := SingleQA(2)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QASrc == nil {
+		t.Fatal("no QA source")
+	}
+	if res.PlayedSec < cfg.Duration/2 {
+		t.Fatalf("played only %.1fs of %.0fs", res.PlayedSec, cfg.Duration)
+	}
+	// ~12 KB/s capacity over 3 KB/s layers: should reach at least 2 layers.
+	layers := res.Series.Get("qa.layers")
+	if layers.Max() < 2 {
+		t.Fatalf("never exceeded %v layers", layers.Max())
+	}
+	if res.StallSec > 1 {
+		t.Fatalf("stalled %.2fs on a private link", res.StallSec)
+	}
+	// Buffering happens and is base-layer-heavy on average.
+	b0 := res.Series.Get("qa.buf.l0").Avg()
+	b2 := res.Series.Get("qa.buf.l2").Avg()
+	if b0 <= 0 {
+		t.Fatal("base layer never buffered")
+	}
+	if b2 > b0 {
+		t.Fatalf("higher layer buffered more on average: l0=%.0f l2=%.0f", b0, b2)
+	}
+}
+
+func TestT1QAFlowHoldsLayersWithoutStalling(t *testing.T) {
+	cfg := T1(2, 1)
+	cfg.Duration = 60
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := res.Series.Get("qa.layers")
+	if layers.Max() < 2 {
+		t.Fatalf("QA flow never got past %v layers at fair share 4C", layers.Max())
+	}
+	if res.StallSec > 2 {
+		t.Fatalf("stalled %.2fs in steady T1", res.StallSec)
+	}
+	// Fair sharing: QA goodput within a factor 3 of the fair share.
+	fair := cfg.BottleneckRate / float64(1+cfg.NumRAP+cfg.NumTCP)
+	avgRate := res.Series.Get("qa.rate").AvgBetween(20, cfg.Duration)
+	if avgRate < fair/3 || avgRate > 3*fair {
+		t.Fatalf("QA avg rate %.0f vs fair share %.0f: unfair by >3x", avgRate, fair)
+	}
+}
+
+func TestT1EfficiencyHigh(t *testing.T) {
+	cfg := T1(2, 1)
+	cfg.Duration = 120
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Drops == 0 {
+		t.Skip("no drops in this run; efficiency undefined")
+	}
+	// Paper Table 1: ~99%+ efficiency. Allow slack for our substrate.
+	if res.Stats.AvgEfficiency < 0.90 {
+		t.Fatalf("buffering efficiency %.3f < 0.90 (paper: ~0.99)", res.Stats.AvgEfficiency)
+	}
+}
+
+func TestT2CBRBurstForcesAndRecovers(t *testing.T) {
+	cfg := T2(4, 1)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := res.Series.Get("qa.layers")
+	before := layers.AvgBetween(15, 30)
+	during := layers.AvgBetween(40, 60)
+	after := layers.AvgBetween(75, 90)
+	if !(during < before) {
+		t.Fatalf("CBR burst did not reduce quality: before=%.2f during=%.2f", before, during)
+	}
+	if !(after > during) {
+		t.Fatalf("quality did not recover after burst: during=%.2f after=%.2f", during, after)
+	}
+	// The base layer must survive the burst: no (long) stall.
+	if res.StallSec > 3 {
+		t.Fatalf("base layer starved %.2fs during CBR burst", res.StallSec)
+	}
+}
+
+func TestKmaxSmoothingReducesQualityChanges(t *testing.T) {
+	changes := map[int]int{}
+	buftot := map[int]float64{}
+	for _, kmax := range []int{2, 8} {
+		// The paper-scale variant (C = 10 KB/s): buffer requirements are
+		// substantial there, so Kmax has a visible effect.
+		cfg := T1(kmax, 8)
+		cfg.Duration = 90
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		changes[kmax] = res.Stats.Adds + res.Stats.Drops
+		buftot[kmax] = res.Series.Get("qa.buftotal").AvgBetween(30, cfg.Duration)
+	}
+	// Fig 12: higher Kmax buffers more and changes quality less (allow
+	// equality; both runs share the same congestion pattern scale).
+	if buftot[8] <= buftot[2] {
+		t.Fatalf("Kmax=8 buffered %.0f <= Kmax=2's %.0f", buftot[8], buftot[2])
+	}
+	if changes[8] > changes[2] {
+		t.Fatalf("Kmax=8 changed quality more often (%d) than Kmax=2 (%d)", changes[8], changes[2])
+	}
+}
+
+func TestRunRejectsEmptyConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestT1FairnessAcrossRAPFlows(t *testing.T) {
+	cfg := T1(2, 1)
+	cfg.Duration = 60
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jain's fairness index across the 9 plain RAP flows.
+	var sum, sumsq float64
+	for _, r := range res.RAPSrcs {
+		g := float64(r.RecvBytes)
+		sum += g
+		sumsq += g * g
+	}
+	n := float64(len(res.RAPSrcs))
+	jain := sum * sum / (n * sumsq)
+	if math.IsNaN(jain) || jain < 0.7 {
+		t.Fatalf("RAP flows unfair: Jain index %.3f", jain)
+	}
+}
+
+func TestQAControllerEventsConsistent(t *testing.T) {
+	cfg := T1(2, 1)
+	cfg.Duration = 60
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	na := 1
+	for _, e := range res.Events {
+		if e.Time < prev {
+			t.Fatalf("events out of order: %v after %v", e.Time, prev)
+		}
+		prev = e.Time
+		switch e.Kind {
+		case core.EvAddLayer:
+			na++
+			if e.Layer != na-1 {
+				t.Fatalf("add event layer %d, want %d", e.Layer, na-1)
+			}
+		case core.EvDropLayer:
+			na--
+			if na < 1 {
+				t.Fatal("more drops than adds: base layer dropped?")
+			}
+		}
+	}
+}
+
+func TestREDVariantRuns(t *testing.T) {
+	cfg := T1(2, 1)
+	cfg.Duration = 30
+	cfg.UseRED = true
+	cfg.REDSeed = 7
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallSec > 2 {
+		t.Fatalf("stalled %.2fs under RED", res.StallSec)
+	}
+	if res.Series.Get("qa.layers").Max() < 2 {
+		t.Fatal("QA flow never got layers under RED")
+	}
+}
+
+func TestFineGrainVariantRuns(t *testing.T) {
+	cfg := T1(2, 1)
+	cfg.Duration = 30
+	cfg.FineGrainRAP = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QASrc.Snd.FineGrainFactor() <= 0 {
+		t.Fatal("fine grain factor not live")
+	}
+	if res.StallSec > 2 {
+		t.Fatalf("stalled %.2fs with fine-grain RAP", res.StallSec)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (float64, int) {
+		cfg := T1(2, 1)
+		cfg.Duration = 20
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Series.Get("qa.rate").Avg(), res.Stats.Adds + res.Stats.Drops
+	}
+	r1, c1 := run()
+	r2, c2 := run()
+	if r1 != r2 || c1 != c2 {
+		t.Fatalf("simulation not deterministic: (%v,%d) vs (%v,%d)", r1, c1, r2, c2)
+	}
+}

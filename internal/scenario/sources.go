@@ -1,0 +1,168 @@
+// Package scenario wires the substrates together into the paper's
+// evaluation setups: a quality-adaptive RAP flow sharing a dumbbell
+// bottleneck with plain RAP flows, Sack-TCP flows, and an optional CBR
+// burst (tests T1 and T2), plus single-flow setups for Figs 1 and 2.
+package scenario
+
+import (
+	"qav/internal/core"
+	"qav/internal/rap"
+	"qav/internal/sim"
+)
+
+// RAPSource is a plain (non-adaptive-quality) RAP flow with an infinite
+// backlog, used as congestion-controlled cross traffic.
+type RAPSource struct {
+	Snd *rap.Sender
+
+	eng     *sim.Engine
+	net     *sim.Dumbbell
+	flowID  int
+	pktSize int
+	ackSize int
+	start   float64
+	sink    sim.Receiver
+
+	// RecvBytes counts payload bytes delivered to the sink.
+	RecvBytes int64
+}
+
+// NewRAPSource creates a RAP cross-traffic flow starting at start.
+func NewRAPSource(eng *sim.Engine, net *sim.Dumbbell, flowID int, cfg rap.Config, start float64) *RAPSource {
+	r := &RAPSource{
+		Snd:     rap.NewSender(cfg),
+		eng:     eng,
+		net:     net,
+		flowID:  flowID,
+		pktSize: cfg.PacketSize,
+		ackSize: 40,
+		start:   start,
+	}
+	if r.pktSize <= 0 {
+		r.pktSize = r.Snd.PacketSize()
+	}
+	r.sink = sim.ReceiverFunc(r.recvData)
+	eng.At(start, r.sendLoop)
+	eng.At(start, r.stepLoop)
+	return r
+}
+
+func (r *RAPSource) sendLoop() {
+	now := r.eng.Now()
+	seq := r.Snd.OnSend(now)
+	p := &sim.Packet{
+		FlowID: r.flowID, Seq: seq, Size: r.pktSize,
+		Kind: sim.Data, SendTime: now,
+	}
+	r.net.SendData(p, r.sink)
+	r.eng.After(r.Snd.IPG(), r.sendLoop)
+}
+
+func (r *RAPSource) stepLoop() {
+	r.Snd.Step(r.eng.Now())
+	r.eng.After(r.Snd.StepInterval(), r.stepLoop)
+}
+
+func (r *RAPSource) recvData(p *sim.Packet) {
+	r.RecvBytes += int64(p.Size)
+	ack := &sim.Packet{FlowID: r.flowID, Kind: sim.Ack, Size: r.ackSize, AckSeq: p.Seq}
+	r.net.SendAck(ack, sim.ReceiverFunc(r.recvAck))
+}
+
+func (r *RAPSource) recvAck(p *sim.Packet) {
+	r.Snd.OnAck(r.eng.Now(), p.AckSeq)
+}
+
+// QASource is the paper's system under test: a RAP flow whose packets are
+// assigned to video layers by the quality adaptation controller.
+type QASource struct {
+	Snd  *rap.Sender
+	Ctrl *core.Controller
+
+	eng     *sim.Engine
+	net     *sim.Dumbbell
+	flowID  int
+	pktSize int
+	ackSize int
+	sink    sim.Receiver
+
+	// seqLayer attributes in-flight packets to layers for ACK crediting.
+	seqLayer map[int64]int
+
+	// SentByLayer / DeliveredByLayer count payload bytes per layer
+	// (cumulative), for the Fig 11 per-layer transmit-rate breakdown.
+	SentByLayer      [16]int64
+	DeliveredByLayer [16]int64
+	// LostPkts counts data packets inferred lost.
+	LostPkts int64
+}
+
+// NewQASource creates the quality-adaptive flow. Its controller must be
+// constructed by the caller (so scenarios can vary Kmax etc.).
+func NewQASource(eng *sim.Engine, net *sim.Dumbbell, flowID int, rcfg rap.Config, ctrl *core.Controller, start float64) *QASource {
+	q := &QASource{
+		Snd:      rap.NewSender(rcfg),
+		Ctrl:     ctrl,
+		eng:      eng,
+		net:      net,
+		flowID:   flowID,
+		ackSize:  40,
+		seqLayer: make(map[int64]int),
+	}
+	q.pktSize = q.Snd.PacketSize()
+	q.sink = sim.ReceiverFunc(q.recvData)
+	eng.At(start, q.sendLoop)
+	eng.At(start, q.stepLoop)
+	return q
+}
+
+func (q *QASource) sendLoop() {
+	now := q.eng.Now()
+	layer := q.Ctrl.PickLayer(now, q.Snd.Rate(), q.Snd.ConservativeSlope(), q.pktSize)
+	seq := q.Snd.OnSend(now)
+	q.seqLayer[seq] = layer
+	if layer >= 0 && layer < len(q.SentByLayer) {
+		q.SentByLayer[layer] += int64(q.pktSize)
+	}
+	p := &sim.Packet{
+		FlowID: q.flowID, Seq: seq, Size: q.pktSize,
+		Kind: sim.Data, Layer: layer, SendTime: now,
+	}
+	q.net.SendData(p, q.sink)
+	q.eng.After(q.Snd.IPG(), q.sendLoop)
+}
+
+func (q *QASource) stepLoop() {
+	now := q.eng.Now()
+	if b := q.Snd.Step(now); b != nil {
+		q.onBackoff(now, b)
+	}
+	q.eng.After(q.Snd.StepInterval(), q.stepLoop)
+}
+
+func (q *QASource) recvData(p *sim.Packet) {
+	ack := &sim.Packet{FlowID: q.flowID, Kind: sim.Ack, Size: q.ackSize, AckSeq: p.Seq}
+	q.net.SendAck(ack, sim.ReceiverFunc(q.recvAck))
+}
+
+func (q *QASource) recvAck(p *sim.Packet) {
+	now := q.eng.Now()
+	if b := q.Snd.OnAck(now, p.AckSeq); b != nil {
+		q.onBackoff(now, b)
+	}
+	if layer, ok := q.seqLayer[p.AckSeq]; ok {
+		delete(q.seqLayer, p.AckSeq)
+		q.Ctrl.OnDelivered(now, layer, q.pktSize)
+		if layer >= 0 && layer < len(q.DeliveredByLayer) {
+			q.DeliveredByLayer[layer] += int64(q.pktSize)
+		}
+	}
+}
+
+func (q *QASource) onBackoff(now float64, b *rap.Backoff) {
+	q.LostPkts += int64(len(b.LostSeqs))
+	for _, seq := range b.LostSeqs {
+		delete(q.seqLayer, seq)
+	}
+	q.Ctrl.OnBackoff(now, b.NewRate, q.Snd.ConservativeSlope())
+}

@@ -1,0 +1,146 @@
+// Package sim is a small discrete-event network simulator.
+//
+// It provides the substrate the paper evaluated on (ns-2 in the original
+// work): an event loop with virtual time, a dumbbell topology with a single
+// bottleneck link, FIFO (DropTail) and RED queues, and plumbing for packet
+// sources and sinks. All times are in seconds, all sizes in bytes, and all
+// rates in bytes per second.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback in virtual time.
+type event struct {
+	time float64
+	seq  uint64 // tie-breaker: preserves scheduling order at equal times
+	fn   func()
+	idx  int
+	dead bool
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer's callback from running. Safe to call on a
+// zero Timer or after the event has fired.
+func (t Timer) Cancel() {
+	if t.ev != nil {
+		t.ev.dead = true
+	}
+}
+
+// Active reports whether the timer is still pending.
+func (t Timer) Active() bool { return t.ev != nil && !t.dead() }
+
+func (t Timer) dead() bool { return t.ev.dead || t.ev.idx < 0 }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine drives virtual time. The zero value is not usable; call NewEngine.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	nRun   uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.nRun }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (e *Engine) At(t float64, fn func()) Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %.9f before now %.9f", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic("sim: scheduling event at non-finite time")
+	}
+	e.seq++
+	ev := &event{time: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return Timer{ev: ev}
+}
+
+// After schedules fn after delay d (clamped to be non-negative).
+func (e *Engine) After(d float64, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step runs the next pending event. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.time
+		e.nRun++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.events) > 0 {
+		// Peek.
+		ev := e.events[0]
+		if ev.time > t {
+			break
+		}
+		if !e.Step() {
+			break
+		}
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Run drains the event queue completely.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

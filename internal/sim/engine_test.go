@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	times := []float64{0.5, 0.1, 0.9, 0.3, 0.3, 0.7}
+	for _, at := range times {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("ran %d events, want %d", len(got), len(times))
+	}
+}
+
+func TestEngineFIFOAtEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1.0, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineClockAdvances(t *testing.T) {
+	e := NewEngine()
+	e.At(2.5, func() {
+		if e.Now() != 2.5 {
+			t.Errorf("Now() = %v inside event at 2.5", e.Now())
+		}
+	})
+	e.Run()
+	if e.Now() != 2.5 {
+		t.Fatalf("final Now() = %v, want 2.5", e.Now())
+	}
+}
+
+func TestEngineSchedulingInsideEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(0.1, tick)
+		}
+	}
+	e.After(0, tick)
+	e.Run()
+	if count != 5 {
+		t.Fatalf("recursive scheduling ran %d times, want 5", count)
+	}
+	if math.Abs(e.Now()-0.4) > 1e-12 {
+		t.Fatalf("Now() = %v, want 0.4", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(0.5, func() {})
+	})
+	e.Run()
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	tm := e.At(1, func() { ran = true })
+	tm.Cancel()
+	e.Run()
+	if ran {
+		t.Fatal("cancelled timer still ran")
+	}
+}
+
+func TestRunUntilStopsAndAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var ran []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		e.At(at, func() { ran = append(ran, at) })
+	}
+	e.RunUntil(2.5)
+	if len(ran) != 2 {
+		t.Fatalf("RunUntil(2.5) ran %d events, want 2", len(ran))
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("Now() = %v, want 2.5", e.Now())
+	}
+	e.Run()
+	if len(ran) != 4 {
+		t.Fatalf("Run after RunUntil ran %d total, want 4", len(ran))
+	}
+}
+
+func TestAfterClampsNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(-1, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("After(-1) ran=%v now=%v", ran, e.Now())
+	}
+}
+
+// Property: any batch of events runs in non-decreasing time order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var got []float64
+		for _, r := range raw {
+			at := float64(r) / 100
+			e.At(at, func() { got = append(got, at) })
+		}
+		e.Run()
+		return sort.Float64sAreSorted(got) && len(got) == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+// Link models a store-and-forward output link fed by a Queue: packets are
+// serialized at Rate bytes/s and then delayed by the propagation Delay
+// before being handed to their destination Receiver.
+type Link struct {
+	eng   *Engine
+	queue Queue
+	rate  float64 // bytes per second
+	delay float64 // propagation delay, seconds
+	busy  bool
+
+	// TxBytes counts bytes successfully transmitted.
+	TxBytes int64
+	// TxPackets counts packets successfully transmitted.
+	TxPackets int64
+}
+
+// NewLink creates a link draining q at rate bytes/s with propagation
+// delay seconds.
+func NewLink(eng *Engine, q Queue, rate, delay float64) *Link {
+	if rate <= 0 {
+		panic("sim: link rate must be positive")
+	}
+	if delay < 0 {
+		panic("sim: link delay must be non-negative")
+	}
+	return &Link{eng: eng, queue: q, rate: rate, delay: delay}
+}
+
+// Rate returns the link bandwidth in bytes per second.
+func (l *Link) Rate() float64 { return l.rate }
+
+// Delay returns the propagation delay in seconds.
+func (l *Link) Delay() float64 { return l.delay }
+
+// Offer enqueues p and starts transmission if the link is idle. The
+// packet is silently discarded if the queue drops it.
+func (l *Link) Offer(p *Packet) {
+	if !l.queue.Enqueue(p) {
+		return
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+func (l *Link) transmitNext() {
+	p := l.queue.Dequeue()
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	txTime := float64(p.Size) / l.rate
+	l.TxBytes += int64(p.Size)
+	l.TxPackets++
+	// Delivery happens after serialization + propagation; the link is
+	// free to start the next packet as soon as serialization finishes.
+	l.eng.After(txTime, func() {
+		dst := p.Dst
+		l.eng.After(l.delay, func() {
+			if dst != nil {
+				dst.Recv(p)
+			}
+		})
+		l.transmitNext()
+	})
+}

@@ -1,0 +1,62 @@
+package sim
+
+// Dumbbell is the classic single-bottleneck evaluation topology: every
+// source shares one bottleneck queue+link on the forward path, and
+// acknowledgements return over an uncongested reverse path with a fixed
+// delay. This is the topology of the paper's T1/T2 tests (800 Kb/s
+// bottleneck, 40 ms round-trip).
+type Dumbbell struct {
+	Eng   *Engine
+	Bneck *Link
+	Q     Queue
+
+	accessDelay  float64 // source -> bottleneck, per direction
+	reverseDelay float64 // sink -> source (full reverse path)
+}
+
+// DumbbellConfig configures a dumbbell topology.
+type DumbbellConfig struct {
+	Rate        float64 // bottleneck bandwidth, bytes/s
+	Delay       float64 // bottleneck one-way propagation delay, seconds
+	AccessDelay float64 // per-flow access-link delay, seconds
+	QueueBytes  int     // bottleneck buffer size, bytes
+	Queue       Queue   // optional custom queue (overrides QueueBytes)
+}
+
+// NewDumbbell builds the topology on eng. Base round-trip time for a
+// flow is 2*(AccessDelay + Delay) plus serialization and queueing.
+func NewDumbbell(eng *Engine, cfg DumbbellConfig) *Dumbbell {
+	q := cfg.Queue
+	if q == nil {
+		if cfg.QueueBytes <= 0 {
+			panic("sim: dumbbell queue size must be positive")
+		}
+		q = NewDropTail(cfg.QueueBytes)
+	}
+	return &Dumbbell{
+		Eng:          eng,
+		Q:            q,
+		Bneck:        NewLink(eng, q, cfg.Rate, cfg.Delay),
+		accessDelay:  cfg.AccessDelay,
+		reverseDelay: cfg.AccessDelay + cfg.Delay,
+	}
+}
+
+// BaseRTT returns the zero-queue round-trip propagation time.
+func (d *Dumbbell) BaseRTT() float64 {
+	return 2 * (d.accessDelay + d.Bneck.Delay())
+}
+
+// SendData pushes a data packet from a source across the access link and
+// into the bottleneck; dst receives it if it is not dropped.
+func (d *Dumbbell) SendData(p *Packet, dst Receiver) {
+	p.Dst = dst
+	d.Eng.After(d.accessDelay, func() { d.Bneck.Offer(p) })
+}
+
+// SendAck returns an acknowledgement to dst over the uncongested reverse
+// path.
+func (d *Dumbbell) SendAck(p *Packet, dst Receiver) {
+	p.Dst = dst
+	d.Eng.After(d.reverseDelay, func() { dst.Recv(p) })
+}

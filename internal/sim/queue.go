@@ -1,0 +1,67 @@
+package sim
+
+// Queue buffers packets ahead of a link. Implementations decide the drop
+// policy; the link only calls Dequeue.
+type Queue interface {
+	// Enqueue offers a packet to the queue. It returns false if the
+	// packet was dropped.
+	Enqueue(p *Packet) bool
+	// Dequeue removes and returns the packet at the head, or nil.
+	Dequeue() *Packet
+	// Len returns the number of queued packets.
+	Len() int
+	// Bytes returns the number of queued bytes.
+	Bytes() int
+	// Drops returns the cumulative number of dropped packets.
+	Drops() int64
+}
+
+// DropTail is a FIFO queue with a byte-capacity limit, the queue
+// discipline the paper's ns-2 scenarios use at the bottleneck.
+type DropTail struct {
+	limit   int // bytes
+	pkts    []*Packet
+	bytes   int
+	dropped int64
+}
+
+// NewDropTail returns a FIFO queue holding at most limit bytes.
+func NewDropTail(limit int) *DropTail {
+	if limit <= 0 {
+		panic("sim: DropTail limit must be positive")
+	}
+	return &DropTail{limit: limit}
+}
+
+// Enqueue implements Queue. Arriving packets that would exceed the byte
+// limit are dropped (tail drop).
+func (q *DropTail) Enqueue(p *Packet) bool {
+	if q.bytes+p.Size > q.limit {
+		q.dropped++
+		return false
+	}
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.Size
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *DropTail) Dequeue() *Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	p := q.pkts[0]
+	q.pkts[0] = nil
+	q.pkts = q.pkts[1:]
+	q.bytes -= p.Size
+	return p
+}
+
+// Len implements Queue.
+func (q *DropTail) Len() int { return len(q.pkts) }
+
+// Bytes implements Queue.
+func (q *DropTail) Bytes() int { return q.bytes }
+
+// Drops implements Queue.
+func (q *DropTail) Drops() int64 { return q.dropped }

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mkPkt(seq int64, size int) *Packet {
+	return &Packet{Seq: seq, Size: size, Kind: Data}
+}
+
+func TestDropTailFIFO(t *testing.T) {
+	q := NewDropTail(10000)
+	for i := int64(0); i < 5; i++ {
+		if !q.Enqueue(mkPkt(i, 100)) {
+			t.Fatalf("enqueue %d dropped", i)
+		}
+	}
+	if q.Len() != 5 || q.Bytes() != 500 {
+		t.Fatalf("len=%d bytes=%d, want 5/500", q.Len(), q.Bytes())
+	}
+	for i := int64(0); i < 5; i++ {
+		p := q.Dequeue()
+		if p == nil || p.Seq != i {
+			t.Fatalf("dequeue got %v, want seq %d", p, i)
+		}
+	}
+	if q.Dequeue() != nil {
+		t.Fatal("dequeue from empty queue returned a packet")
+	}
+}
+
+func TestDropTailDropsWhenFull(t *testing.T) {
+	q := NewDropTail(250)
+	if !q.Enqueue(mkPkt(0, 100)) || !q.Enqueue(mkPkt(1, 100)) {
+		t.Fatal("first two packets should fit")
+	}
+	if q.Enqueue(mkPkt(2, 100)) {
+		t.Fatal("third packet should be tail-dropped")
+	}
+	if q.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", q.Drops())
+	}
+	// After draining one, a new packet fits again.
+	q.Dequeue()
+	if !q.Enqueue(mkPkt(3, 100)) {
+		t.Fatal("packet should fit after dequeue")
+	}
+}
+
+func TestDropTailByteAccounting(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		q := NewDropTail(1 << 20)
+		want := 0
+		for i, s := range sizes {
+			size := int(s) + 1
+			if q.Enqueue(mkPkt(int64(i), size)) {
+				want += size
+			}
+		}
+		if q.Bytes() != want {
+			return false
+		}
+		for q.Dequeue() != nil {
+		}
+		return q.Bytes() == 0 && q.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestREDDropsUnderSustainedLoad(t *testing.T) {
+	q := NewRED(REDConfig{LimitBytes: 64 * 512, MeanPktSize: 512, MinThresh: 5, MaxThresh: 15, Seed: 42})
+	drops := 0
+	// Keep the queue persistently long; RED must drop before the hard limit.
+	for i := 0; i < 2000; i++ {
+		if !q.Enqueue(mkPkt(int64(i), 512)) {
+			drops++
+		}
+		if q.Len() > 20 {
+			q.Dequeue()
+		}
+	}
+	if drops == 0 {
+		t.Fatal("RED never dropped under sustained overload")
+	}
+	if q.Drops() != int64(drops) {
+		t.Fatalf("drop counter %d != observed %d", q.Drops(), drops)
+	}
+}
+
+func TestREDQuietQueueDoesNotDrop(t *testing.T) {
+	q := NewRED(REDConfig{LimitBytes: 64 * 512, MeanPktSize: 512, MinThresh: 5, MaxThresh: 15, Seed: 1})
+	for i := 0; i < 1000; i++ {
+		if !q.Enqueue(mkPkt(int64(i), 512)) {
+			t.Fatalf("RED dropped packet %d from an always-short queue", i)
+		}
+		q.Dequeue() // queue never builds
+	}
+}
+
+func TestREDHardLimit(t *testing.T) {
+	q := NewRED(REDConfig{LimitBytes: 4 * 512, MeanPktSize: 512, MinThresh: 100, MaxThresh: 300, Seed: 1})
+	fits := 0
+	for i := 0; i < 10; i++ {
+		if q.Enqueue(mkPkt(int64(i), 512)) {
+			fits++
+		}
+	}
+	if fits != 4 {
+		t.Fatalf("RED hard limit admitted %d packets, want 4", fits)
+	}
+}

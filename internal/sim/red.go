@@ -1,0 +1,122 @@
+package sim
+
+import "math/rand"
+
+// RED is a Random Early Detection queue (Floyd & Jacobson '93), provided
+// as the paper's "future work" bottleneck variant and for the DropTail vs
+// RED ablation bench. Averaging and dropping follow the classic gentle-off
+// algorithm with byte-mode thresholds expressed in packets of MeanPktSize.
+type RED struct {
+	limit   int // hard byte limit
+	minTh   float64
+	maxTh   float64
+	maxP    float64
+	wq      float64
+	meanPkt int
+
+	rng     *rand.Rand
+	pkts    []*Packet
+	bytes   int
+	avg     float64 // average queue length in packets
+	count   int     // packets since last drop
+	idleAt  float64 // virtual time the queue went idle (unused: avg decay on arrival only)
+	dropped int64
+}
+
+// REDConfig holds RED parameters. Zero fields get classic defaults.
+type REDConfig struct {
+	LimitBytes  int     // hard capacity
+	MinThresh   float64 // packets
+	MaxThresh   float64 // packets
+	MaxP        float64 // max drop probability at MaxThresh
+	Wq          float64 // EWMA weight
+	MeanPktSize int     // bytes
+	Seed        int64
+}
+
+// NewRED returns a RED queue.
+func NewRED(cfg REDConfig) *RED {
+	if cfg.LimitBytes <= 0 {
+		panic("sim: RED limit must be positive")
+	}
+	if cfg.MeanPktSize <= 0 {
+		cfg.MeanPktSize = 512
+	}
+	if cfg.MinThresh <= 0 {
+		cfg.MinThresh = 5
+	}
+	if cfg.MaxThresh <= 0 {
+		cfg.MaxThresh = 3 * cfg.MinThresh
+	}
+	if cfg.MaxP <= 0 {
+		cfg.MaxP = 0.1
+	}
+	if cfg.Wq <= 0 {
+		cfg.Wq = 0.002
+	}
+	return &RED{
+		limit:   cfg.LimitBytes,
+		minTh:   cfg.MinThresh,
+		maxTh:   cfg.MaxThresh,
+		maxP:    cfg.MaxP,
+		wq:      cfg.Wq,
+		meanPkt: cfg.MeanPktSize,
+		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+}
+
+// Enqueue implements Queue with early random dropping.
+func (q *RED) Enqueue(p *Packet) bool {
+	qlen := float64(q.bytes) / float64(q.meanPkt)
+	q.avg = (1-q.wq)*q.avg + q.wq*qlen
+
+	drop := false
+	switch {
+	case q.bytes+p.Size > q.limit:
+		drop = true // hard limit
+	case q.avg >= q.maxTh:
+		drop = true
+	case q.avg >= q.minTh:
+		pb := q.maxP * (q.avg - q.minTh) / (q.maxTh - q.minTh)
+		pa := pb / (1 - float64(q.count)*pb)
+		if pa < 0 || pa > 1 {
+			pa = 1
+		}
+		if q.rng.Float64() < pa {
+			drop = true
+		} else {
+			q.count++
+		}
+	default:
+		q.count = 0
+	}
+	if drop {
+		q.dropped++
+		q.count = 0
+		return false
+	}
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.Size
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *RED) Dequeue() *Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	p := q.pkts[0]
+	q.pkts[0] = nil
+	q.pkts = q.pkts[1:]
+	q.bytes -= p.Size
+	return p
+}
+
+// Len implements Queue.
+func (q *RED) Len() int { return len(q.pkts) }
+
+// Bytes implements Queue.
+func (q *RED) Bytes() int { return q.bytes }
+
+// Drops implements Queue.
+func (q *RED) Drops() int64 { return q.dropped }

@@ -1,0 +1,348 @@
+// Package tcp implements a packet-level Sack-TCP model used as competing
+// cross-traffic in the simulator, mirroring the paper's evaluation setup
+// (the quality-adaptive flow shares the bottleneck with Sack-TCP flows).
+//
+// The model is a bulk-transfer (FTP-like) sender with slow start,
+// congestion avoidance, fast retransmit/fast recovery driven by a SACK
+// scoreboard, and an RTO with exponential backoff. Sequence numbers count
+// fixed-size packets.
+package tcp
+
+import (
+	"math"
+	"sort"
+
+	"qav/internal/sim"
+)
+
+// Config parameterizes a TCP source.
+type Config struct {
+	FlowID     int
+	PacketSize int     // bytes
+	AckSize    int     // bytes
+	InitialRTT float64 // seeds the RTO before the first sample, seconds
+	MaxCwnd    float64 // packets; 0 = unlimited
+	Start      float64 // start time, seconds
+}
+
+func (c *Config) setDefaults() {
+	if c.PacketSize <= 0 {
+		c.PacketSize = 512
+	}
+	if c.AckSize <= 0 {
+		c.AckSize = 40
+	}
+	if c.InitialRTT <= 0 {
+		c.InitialRTT = 0.1
+	}
+}
+
+// Source is a bulk Sack-TCP sender attached to a dumbbell network.
+type Source struct {
+	cfg Config
+	eng *sim.Engine
+	net *sim.Dumbbell
+
+	cwnd     float64 // packets
+	ssthresh float64
+	nextSeq  int64 // next new sequence to send
+	highAck  int64 // cumulative ACK (first unacked seq)
+	dupacks  int
+
+	inRecovery bool
+	recover    int64
+
+	sacked map[int64]bool
+	lost   map[int64]bool // marked for retransmission
+	rtxOut map[int64]bool // retransmitted, awaiting ack
+
+	srtt, rttvar, rto float64
+	gotRTT            bool
+	rtoBackoff        float64
+	rtoTimer          sim.Timer
+
+	sink *sink
+
+	// Stats.
+	SentPkts    int64
+	RetransPkts int64
+	AckedPkts   int64
+	Timeouts    int64
+	FastRecover int64
+}
+
+// NewSource creates a TCP source and its paired sink on net.
+func NewSource(eng *sim.Engine, net *sim.Dumbbell, cfg Config) *Source {
+	cfg.setDefaults()
+	s := &Source{
+		cfg:        cfg,
+		eng:        eng,
+		net:        net,
+		cwnd:       2,
+		ssthresh:   64,
+		sacked:     make(map[int64]bool),
+		lost:       make(map[int64]bool),
+		rtxOut:     make(map[int64]bool),
+		srtt:       cfg.InitialRTT,
+		rttvar:     cfg.InitialRTT / 2,
+		rto:        3 * cfg.InitialRTT,
+		rtoBackoff: 1,
+	}
+	s.sink = &sink{src: s, received: make(map[int64]bool)}
+	eng.At(cfg.Start, s.trySend)
+	return s
+}
+
+// Cwnd returns the current congestion window in packets.
+func (s *Source) Cwnd() float64 { return s.cwnd }
+
+// GoodputBytes returns bytes cumulatively acknowledged.
+func (s *Source) GoodputBytes() int64 { return s.AckedPkts * int64(s.cfg.PacketSize) }
+
+// pipe estimates packets in flight: sent but neither cumacked, sacked,
+// nor marked lost (lost packets have left the network).
+func (s *Source) pipe() int {
+	n := 0
+	for seq := s.highAck; seq < s.nextSeq; seq++ {
+		if s.sacked[seq] || (s.lost[seq] && !s.rtxOut[seq]) {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+func (s *Source) trySend() {
+	window := s.cwnd
+	if s.cfg.MaxCwnd > 0 && window > s.cfg.MaxCwnd {
+		window = s.cfg.MaxCwnd
+	}
+	for s.pipe() < int(window) {
+		// Retransmissions first.
+		if seq, ok := s.nextLost(); ok {
+			s.transmit(seq, true)
+			continue
+		}
+		s.transmit(s.nextSeq, false)
+		s.nextSeq++
+	}
+	s.armRTO()
+}
+
+func (s *Source) nextLost() (int64, bool) {
+	best := int64(math.MaxInt64)
+	for seq := range s.lost {
+		if !s.rtxOut[seq] && seq < best {
+			best = seq
+		}
+	}
+	if best == math.MaxInt64 {
+		return 0, false
+	}
+	return best, true
+}
+
+func (s *Source) transmit(seq int64, retx bool) {
+	p := &sim.Packet{
+		FlowID:     s.cfg.FlowID,
+		Seq:        seq,
+		Size:       s.cfg.PacketSize,
+		Kind:       sim.Data,
+		SendTime:   s.eng.Now(),
+		Retransmit: retx,
+	}
+	s.SentPkts++
+	if retx {
+		s.RetransPkts++
+		s.rtxOut[seq] = true
+	}
+	s.net.SendData(p, s.sink)
+}
+
+func (s *Source) armRTO() {
+	s.rtoTimer.Cancel()
+	if s.pipe() == 0 && len(s.lost) == 0 {
+		return
+	}
+	s.rtoTimer = s.eng.After(s.rto*s.rtoBackoff, s.onRTO)
+}
+
+func (s *Source) onRTO() {
+	s.Timeouts++
+	s.ssthresh = math.Max(float64(s.pipe())/2, 2)
+	s.cwnd = 1
+	s.dupacks = 0
+	s.inRecovery = false
+	s.rtoBackoff = math.Min(s.rtoBackoff*2, 64)
+	// Everything unsacked is presumed lost (go-back-N-ish with SACK reuse).
+	for seq := s.highAck; seq < s.nextSeq; seq++ {
+		if !s.sacked[seq] {
+			s.lost[seq] = true
+			delete(s.rtxOut, seq)
+		}
+	}
+	s.trySend()
+}
+
+// onAck processes a returning acknowledgement.
+func (s *Source) onAck(p *sim.Packet) {
+	if p.CumAck > s.highAck {
+		// New data cumulatively acknowledged.
+		newly := p.CumAck - s.highAck
+		for seq := s.highAck; seq < p.CumAck; seq++ {
+			delete(s.sacked, seq)
+			delete(s.lost, seq)
+			delete(s.rtxOut, seq)
+		}
+		s.highAck = p.CumAck
+		s.AckedPkts += newly
+		s.dupacks = 0
+		s.rtoBackoff = 1
+		if p.Echo > 0 {
+			s.updateRTT(s.eng.Now() - p.Echo)
+		}
+		if s.inRecovery {
+			if s.highAck >= s.recover {
+				// Full recovery.
+				s.inRecovery = false
+				s.cwnd = s.ssthresh
+			}
+			// Partial ACK: the next hole is already in s.lost via the
+			// scoreboard update below; stay in recovery.
+		} else {
+			for i := int64(0); i < newly; i++ {
+				if s.cwnd < s.ssthresh {
+					s.cwnd++ // slow start
+				} else {
+					s.cwnd += 1 / s.cwnd // congestion avoidance
+				}
+			}
+		}
+	} else if p.CumAck == s.highAck {
+		s.dupacks++
+	}
+
+	// Absorb SACK information.
+	highestSacked := int64(-1)
+	for _, b := range p.Sack {
+		for seq := b.Start; seq < b.End; seq++ {
+			if seq >= s.highAck {
+				s.sacked[seq] = true
+				if seq > highestSacked {
+					highestSacked = seq
+				}
+			}
+		}
+	}
+	// Scoreboard loss inference: an unsacked hole with at least three
+	// sacked packets above it is lost (simplified IsLost()).
+	if highestSacked >= 0 {
+		for seq := s.highAck; seq < highestSacked; seq++ {
+			if s.sacked[seq] || s.lost[seq] {
+				continue
+			}
+			above := 0
+			for q := seq + 1; q <= highestSacked && above < 3; q++ {
+				if s.sacked[q] {
+					above++
+				}
+			}
+			if above >= 3 {
+				s.lost[seq] = true
+				delete(s.rtxOut, seq)
+			}
+		}
+	}
+
+	if !s.inRecovery && (s.dupacks >= 3 || (len(s.lost) > 0 && highestSacked >= 0)) && s.nextSeq > s.highAck {
+		// Enter fast recovery.
+		s.inRecovery = true
+		s.recover = s.nextSeq
+		s.ssthresh = math.Max(float64(s.pipe())/2, 2)
+		s.cwnd = s.ssthresh
+		s.FastRecover++
+		if len(s.lost) == 0 {
+			// Triple dupack without SACK info: first hole is lost.
+			s.lost[s.highAck] = true
+		}
+	}
+	s.trySend()
+}
+
+func (s *Source) updateRTT(sample float64) {
+	if sample <= 0 {
+		return
+	}
+	if !s.gotRTT {
+		s.srtt, s.rttvar, s.gotRTT = sample, sample/2, true
+	} else {
+		const alpha, beta = 1.0 / 8.0, 1.0 / 4.0
+		s.rttvar = (1-beta)*s.rttvar + beta*math.Abs(s.srtt-sample)
+		s.srtt = (1-alpha)*s.srtt + alpha*sample
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < 2*s.srtt {
+		s.rto = 2 * s.srtt
+	}
+	if s.rto < 0.02 {
+		s.rto = 0.02
+	}
+}
+
+// sink is the receiving side: it acknowledges every data packet with a
+// cumulative ACK plus up to three SACK blocks.
+type sink struct {
+	src      *Source
+	received map[int64]bool
+	cumack   int64
+}
+
+// Recv implements sim.Receiver.
+func (k *sink) Recv(p *sim.Packet) {
+	if p.Kind != sim.Data {
+		return
+	}
+	k.received[p.Seq] = true
+	for k.received[k.cumack] {
+		delete(k.received, k.cumack)
+		k.cumack++
+	}
+	ack := &sim.Packet{
+		FlowID: p.FlowID,
+		Kind:   sim.Ack,
+		Size:   k.src.cfg.AckSize,
+		CumAck: k.cumack,
+		AckSeq: p.Seq,
+		Echo:   p.SendTime,
+		Sack:   k.sackBlocks(),
+	}
+	k.src.net.SendAck(ack, sim.ReceiverFunc(func(a *sim.Packet) { k.src.onAck(a) }))
+}
+
+// sackBlocks summarizes out-of-order data above cumack as ranges.
+func (k *sink) sackBlocks() []sim.SackBlock {
+	if len(k.received) == 0 {
+		return nil
+	}
+	seqs := make([]int64, 0, len(k.received))
+	for s := range k.received {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	var blocks []sim.SackBlock
+	start, prev := seqs[0], seqs[0]
+	for _, s := range seqs[1:] {
+		if s == prev+1 {
+			prev = s
+			continue
+		}
+		blocks = append(blocks, sim.SackBlock{Start: start, End: prev + 1})
+		start, prev = s, s
+	}
+	blocks = append(blocks, sim.SackBlock{Start: start, End: prev + 1})
+	// Most recent (highest) blocks are the most useful; cap at 3.
+	if len(blocks) > 3 {
+		blocks = blocks[len(blocks)-3:]
+	}
+	return blocks
+}

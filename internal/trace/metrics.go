@@ -1,0 +1,70 @@
+package trace
+
+import "qav/internal/core"
+
+// DropStats summarizes the layer-drop events of a run, the raw material
+// for the paper's Tables 1 and 2.
+type DropStats struct {
+	// Drops is the number of layer-drop events.
+	Drops int
+	// AvgEfficiency is the mean of e = (buf_total - buf_drop)/buf_total
+	// over drop events (Table 1); 1.0 when no buffered data was wasted.
+	AvgEfficiency float64
+	// PoorDistPct is the percentage of drops that happened although the
+	// total buffering would have sufficed for recovery (Table 2).
+	PoorDistPct float64
+	// Adds counts layer additions.
+	Adds int
+	// Backoffs counts congestion backoffs.
+	Backoffs int
+	// Stalls counts base-layer underflow events.
+	Stalls int
+}
+
+// ComputeDropStats derives the drop statistics from a controller event
+// log. Drop events with zero total buffering count as perfectly
+// efficient: nothing was wasted.
+func ComputeDropStats(events []core.Event) DropStats {
+	var st DropStats
+	sumE := 0.0
+	poor := 0
+	for _, e := range events {
+		switch e.Kind {
+		case core.EvDropLayer:
+			st.Drops++
+			if e.BufTotal > 0 {
+				sumE += (e.BufTotal - e.BufDrop) / e.BufTotal
+			} else {
+				sumE += 1
+			}
+			if e.PoorDist {
+				poor++
+			}
+		case core.EvAddLayer:
+			st.Adds++
+		case core.EvBackoff:
+			st.Backoffs++
+		case core.EvStallStart:
+			st.Stalls++
+		}
+	}
+	if st.Drops > 0 {
+		st.AvgEfficiency = sumE / float64(st.Drops)
+		st.PoorDistPct = 100 * float64(poor) / float64(st.Drops)
+	} else {
+		st.AvgEfficiency = 1
+	}
+	return st
+}
+
+// QualityChanges counts add/drop events in [from, to).
+func QualityChanges(events []core.Event, from, to float64) int {
+	n := 0
+	for _, e := range events {
+		if e.Time >= from && e.Time < to &&
+			(e.Kind == core.EvAddLayer || e.Kind == core.EvDropLayer) {
+			n++
+		}
+	}
+	return n
+}

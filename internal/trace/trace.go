@@ -1,0 +1,169 @@
+// Package trace collects time series and computes the paper's evaluation
+// metrics: buffering efficiency (Table 1) and the fraction of layer drops
+// caused by poor inter-layer buffer distribution (Table 2).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Series is a named time series (seconds, value).
+type Series struct {
+	Name string
+	T    []float64
+	V    []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.T) }
+
+// Last returns the most recent value, or 0 if empty.
+func (s *Series) Last() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	return s.V[len(s.V)-1]
+}
+
+// Max returns the maximum value, or 0 if empty.
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.V {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Min returns the minimum value, or 0 if empty.
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range s.V {
+		if v < m {
+			m = v
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// Avg returns the arithmetic mean, or 0 if empty.
+func (s *Series) Avg() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.V {
+		sum += v
+	}
+	return sum / float64(len(s.V))
+}
+
+// AvgBetween averages samples with t in [from, to).
+func (s *Series) AvgBetween(from, to float64) float64 {
+	sum, n := 0.0, 0
+	for i, t := range s.T {
+		if t >= from && t < to {
+			sum += s.V[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Set is an ordered collection of named series.
+type Set struct {
+	order  []*Series
+	byName map[string]*Series
+}
+
+// NewSet returns an empty series set.
+func NewSet() *Set { return &Set{byName: make(map[string]*Series)} }
+
+// Series returns the series with the given name, creating it on first use.
+func (set *Set) Series(name string) *Series {
+	if s, ok := set.byName[name]; ok {
+		return s
+	}
+	s := &Series{Name: name}
+	set.byName[name] = s
+	set.order = append(set.order, s)
+	return s
+}
+
+// Names returns all series names in creation order.
+func (set *Set) Names() []string {
+	out := make([]string, len(set.order))
+	for i, s := range set.order {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Get returns the series with the given name, or nil.
+func (set *Set) Get(name string) *Series { return set.byName[name] }
+
+// WriteTSV writes all series that share the first series' timestamps as
+// one aligned tab-separated table (time plus one column per series).
+// Series with differing sample counts are written as separate blocks.
+func (set *Set) WriteTSV(w io.Writer) error {
+	if len(set.order) == 0 {
+		return nil
+	}
+	// Group series by identical sample count.
+	groups := map[int][]*Series{}
+	var lens []int
+	for _, s := range set.order {
+		if _, ok := groups[s.Len()]; !ok {
+			lens = append(lens, s.Len())
+		}
+		groups[s.Len()] = append(groups[s.Len()], s)
+	}
+	sort.Ints(lens)
+	for _, n := range lens {
+		g := groups[n]
+		if _, err := fmt.Fprintf(w, "# time"); err != nil {
+			return err
+		}
+		for _, s := range g {
+			if _, err := fmt.Fprintf(w, "\t%s", s.Name); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if _, err := fmt.Fprintf(w, "%.3f", g[0].T[i]); err != nil {
+				return err
+			}
+			for _, s := range g {
+				if _, err := fmt.Fprintf(w, "\t%.3f", s.V[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

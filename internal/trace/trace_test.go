@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"qav/internal/core"
+)
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	if s.Len() != 10 || s.Last() != 9 || s.Max() != 9 || s.Min() != 0 {
+		t.Fatalf("stats wrong: len=%d last=%v max=%v min=%v", s.Len(), s.Last(), s.Max(), s.Min())
+	}
+	if s.Avg() != 4.5 {
+		t.Fatalf("avg = %v, want 4.5", s.Avg())
+	}
+	if got := s.AvgBetween(2, 5); got != 3 {
+		t.Fatalf("AvgBetween(2,5) = %v, want 3", got)
+	}
+	if got := s.AvgBetween(100, 200); got != 0 {
+		t.Fatalf("empty window avg = %v, want 0", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Last() != 0 || s.Max() != 0 || s.Min() != 0 || s.Avg() != 0 {
+		t.Fatal("empty series stats should all be 0")
+	}
+}
+
+func TestSetCreatesAndOrders(t *testing.T) {
+	set := NewSet()
+	a := set.Series("a")
+	b := set.Series("b")
+	if set.Series("a") != a {
+		t.Fatal("Series not idempotent")
+	}
+	if set.Get("b") != b || set.Get("zzz") != nil {
+		t.Fatal("Get broken")
+	}
+	names := set.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestWriteTSVAligned(t *testing.T) {
+	set := NewSet()
+	for i := 0; i < 3; i++ {
+		set.Series("x").Add(float64(i), float64(i)*2)
+		set.Series("y").Add(float64(i), float64(i)*3)
+	}
+	var buf bytes.Buffer
+	if err := set.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header+3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "# time\tx\ty") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "1.000\t2.000\t3.000" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestComputeDropStats(t *testing.T) {
+	events := []core.Event{
+		{Kind: core.EvPlayStart},
+		{Kind: core.EvAddLayer},
+		{Kind: core.EvAddLayer},
+		{Kind: core.EvBackoff},
+		{Kind: core.EvDropLayer, BufTotal: 1000, BufDrop: 10},
+		{Kind: core.EvDropLayer, BufTotal: 1000, BufDrop: 100, PoorDist: true},
+		{Kind: core.EvStallStart},
+	}
+	st := ComputeDropStats(events)
+	if st.Drops != 2 || st.Adds != 2 || st.Backoffs != 1 || st.Stalls != 1 {
+		t.Fatalf("counts wrong: %+v", st)
+	}
+	wantE := ((1000.0-10)/1000 + (1000.0-100)/1000) / 2
+	if math.Abs(st.AvgEfficiency-wantE) > 1e-12 {
+		t.Fatalf("efficiency %v, want %v", st.AvgEfficiency, wantE)
+	}
+	if st.PoorDistPct != 50 {
+		t.Fatalf("poor%% = %v, want 50", st.PoorDistPct)
+	}
+}
+
+func TestComputeDropStatsNoDrops(t *testing.T) {
+	st := ComputeDropStats([]core.Event{{Kind: core.EvAddLayer}})
+	if st.AvgEfficiency != 1 || st.PoorDistPct != 0 {
+		t.Fatalf("no-drop defaults wrong: %+v", st)
+	}
+}
+
+func TestComputeDropStatsZeroTotal(t *testing.T) {
+	st := ComputeDropStats([]core.Event{
+		{Kind: core.EvDropLayer, BufTotal: 0, BufDrop: 0},
+	})
+	if st.AvgEfficiency != 1 {
+		t.Fatalf("zero-buffer drop should count as fully efficient, got %v", st.AvgEfficiency)
+	}
+}
+
+func TestQualityChanges(t *testing.T) {
+	events := []core.Event{
+		{Time: 1, Kind: core.EvAddLayer},
+		{Time: 2, Kind: core.EvDropLayer},
+		{Time: 3, Kind: core.EvBackoff},
+		{Time: 10, Kind: core.EvAddLayer},
+	}
+	if got := QualityChanges(events, 0, 5); got != 2 {
+		t.Fatalf("changes in [0,5) = %d, want 2", got)
+	}
+	if got := QualityChanges(events, 5, 20); got != 1 {
+		t.Fatalf("changes in [5,20) = %d, want 1", got)
+	}
+}

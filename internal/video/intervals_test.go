@@ -1,0 +1,170 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalSetAddAndContains(t *testing.T) {
+	var s IntervalSet
+	s.Add(10, 20)
+	s.Add(30, 40)
+	if !s.Contains(10, 20) || !s.Contains(12, 18) {
+		t.Fatal("covered range not contained")
+	}
+	if s.Contains(10, 21) || s.Contains(25, 26) || s.Contains(5, 12) {
+		t.Fatal("uncovered range reported contained")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+}
+
+func TestIntervalSetMerging(t *testing.T) {
+	var s IntervalSet
+	s.Add(10, 20)
+	s.Add(20, 30) // adjacent: merge
+	if s.Len() != 1 || !s.Contains(10, 30) {
+		t.Fatalf("adjacent ranges not merged: len=%d", s.Len())
+	}
+	s.Add(5, 12) // overlapping front
+	if s.Len() != 1 || !s.Contains(5, 30) {
+		t.Fatalf("front overlap not merged: len=%d", s.Len())
+	}
+	s.Add(50, 60)
+	s.Add(25, 55) // bridges the gap
+	if s.Len() != 1 || !s.Contains(5, 60) {
+		t.Fatalf("bridge not merged: len=%d, covered=%d", s.Len(), s.TotalCovered())
+	}
+}
+
+func TestIntervalSetEmptyAdd(t *testing.T) {
+	var s IntervalSet
+	s.Add(10, 10)
+	s.Add(10, 5)
+	if s.Len() != 0 {
+		t.Fatal("degenerate adds created intervals")
+	}
+	if !s.Contains(5, 5) {
+		t.Fatal("empty range should be vacuously contained")
+	}
+}
+
+func TestIntervalSetCoveredWithin(t *testing.T) {
+	var s IntervalSet
+	s.Add(10, 20)
+	s.Add(30, 40)
+	if got := s.CoveredWithin(0, 50); got != 20 {
+		t.Fatalf("CoveredWithin(0,50) = %d, want 20", got)
+	}
+	if got := s.CoveredWithin(15, 35); got != 10 {
+		t.Fatalf("CoveredWithin(15,35) = %d, want 10", got)
+	}
+	if got := s.CoveredWithin(20, 30); got != 0 {
+		t.Fatalf("CoveredWithin(20,30) = %d, want 0", got)
+	}
+}
+
+func TestIntervalSetFirstGap(t *testing.T) {
+	var s IntervalSet
+	s.Add(0, 10)
+	s.Add(20, 30)
+	start, end, ok := s.FirstGap(0, 30)
+	if !ok || start != 10 || end != 20 {
+		t.Fatalf("FirstGap(0,30) = (%d,%d,%v), want (10,20,true)", start, end, ok)
+	}
+	start, end, ok = s.FirstGap(25, 100)
+	if !ok || start != 30 || end != 100 {
+		t.Fatalf("FirstGap(25,100) = (%d,%d,%v), want (30,100,true)", start, end, ok)
+	}
+	if _, _, ok := s.FirstGap(5, 10); ok {
+		t.Fatal("no gap in [5,10) but FirstGap found one")
+	}
+	// Uncovered starting point.
+	start, _, ok = s.FirstGap(15, 30)
+	if !ok || start != 15 {
+		t.Fatalf("FirstGap(15,30) start = %d, want 15", start)
+	}
+}
+
+// Property: IntervalSet agrees with a brute-force boolean array.
+func TestIntervalSetMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const size = 200
+		var s IntervalSet
+		covered := make([]bool, size)
+		for op := 0; op < 40; op++ {
+			a := int64(rng.Intn(size))
+			b := a + int64(rng.Intn(30))
+			if b > size {
+				b = size
+			}
+			s.Add(a, b)
+			for i := a; i < b; i++ {
+				covered[i] = true
+			}
+		}
+		// Check Contains on random ranges.
+		for q := 0; q < 50; q++ {
+			a := int64(rng.Intn(size))
+			b := a + int64(rng.Intn(40))
+			if b > size {
+				b = size
+			}
+			want := true
+			var wantCov int64
+			for i := a; i < b; i++ {
+				if !covered[i] {
+					want = false
+				} else {
+					wantCov++
+				}
+			}
+			if s.Contains(a, b) != want {
+				return false
+			}
+			if s.CoveredWithin(a, b) != wantCov {
+				return false
+			}
+		}
+		// Total covered matches.
+		var total int64
+		for _, c := range covered {
+			if c {
+				total++
+			}
+		}
+		return s.TotalCovered() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: intervals stay sorted, disjoint, and non-adjacent.
+func TestIntervalSetCanonicalForm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s IntervalSet
+		for op := 0; op < 60; op++ {
+			a := int64(rng.Intn(1000))
+			s.Add(a, a+int64(rng.Intn(50)))
+		}
+		prevEnd := int64(-1)
+		for _, iv := range s.ivs {
+			if iv.End <= iv.Start {
+				return false // empty interval stored
+			}
+			if iv.Start <= prevEnd {
+				return false // overlap or adjacency not merged
+			}
+			prevEnd = iv.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package qav reproduces "Quality Adaptation for Congestion Controlled
+// Video Playback over the Internet" (Rejaie, Handley, Estrin — SIGCOMM
+// 1999): layered video streamed over a TCP-friendly, rate-based AIMD
+// transport (RAP), with receiver buffering distributed across layers
+// along the paper's maximally efficient path so that short-term
+// congestion backoffs are absorbed without visible quality changes.
+//
+// This root package is the public facade. The pieces live in internal
+// packages and are re-exported here:
+//
+//   - the quality adaptation engine (buffer-requirement formulas, state
+//     ladder, filling and draining allocators, add/drop rules),
+//   - the RAP congestion control state machine,
+//   - a discrete-event network simulator with Sack-TCP and CBR cross
+//     traffic (the evaluation substrate),
+//   - a real-UDP transport plus network emulator,
+//   - scenario builders and figure/table generators for every experiment
+//     in the paper's evaluation section.
+//
+// Quick start:
+//
+//	res, err := qav.Simulate(qav.SingleQA(2))
+//	fmt.Println(res.Stats.Adds, res.Stats.Drops, res.StallSec)
+package qav
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"qav/internal/core"
+	"qav/internal/netio"
+	"qav/internal/rap"
+	"qav/internal/scenario"
+	"qav/internal/trace"
+	"qav/internal/video"
+)
+
+// Re-exported core types: the quality adaptation engine.
+type (
+	// Params configures a quality adaptation controller (per-layer rate
+	// C, smoothing factor Kmax, maximum layers, startup buffering).
+	Params = core.Params
+	// Controller is the server-side quality adaptation engine.
+	Controller = core.Controller
+	// Event is one controller decision (add, drop, backoff, stall...).
+	Event = core.Event
+	// EventKind classifies controller events.
+	EventKind = core.EventKind
+	// Scenario identifies the two extreme multi-backoff loss patterns.
+	Scenario = core.Scenario
+)
+
+// Controller event kinds.
+const (
+	EvPlayStart  = core.EvPlayStart
+	EvAddLayer   = core.EvAddLayer
+	EvDropLayer  = core.EvDropLayer
+	EvBackoff    = core.EvBackoff
+	EvStallStart = core.EvStallStart
+	EvStallEnd   = core.EvStallEnd
+)
+
+// NewController returns a quality adaptation controller for integration
+// with a custom transport: feed it Tick/PickLayer/OnDelivered/OnBackoff.
+func NewController(p Params) (*Controller, error) { return core.NewController(p) }
+
+// Simulation types.
+type (
+	// SimConfig describes one simulated evaluation run.
+	SimConfig = scenario.Config
+	// SimResult carries traces, events, and statistics from a run.
+	SimResult = scenario.Result
+	// DropStats summarizes drop events (Tables 1 and 2 metrics).
+	DropStats = trace.DropStats
+	// Series is a named time series collected during a run.
+	Series = trace.Series
+)
+
+// Simulate runs one simulated scenario to completion.
+func Simulate(cfg SimConfig) (*SimResult, error) { return scenario.Run(cfg) }
+
+// T1 returns the paper's first test: the QA flow sharing a bottleneck
+// with 9 RAP and 10 Sack-TCP flows. scale=8 reproduces the paper's
+// figure axes (C = 10 KB/s).
+func T1(kmax int, scale float64) SimConfig { return scenario.T1(kmax, scale) }
+
+// T2 returns T1 plus a CBR burst at half the bottleneck bandwidth
+// between t=30s and t=60s (the responsiveness experiment).
+func T2(kmax int, scale float64) SimConfig { return scenario.T2(kmax, scale) }
+
+// SingleRAP returns the single-flow sawtooth demonstration (Fig 1).
+func SingleRAP() SimConfig { return scenario.SingleRAP() }
+
+// SingleQA returns a single quality-adaptive flow on a private
+// bottleneck (Fig 2's filling/draining demonstration).
+func SingleQA(kmax int) SimConfig { return scenario.SingleQA(kmax) }
+
+// Real-transport types: RAP + quality adaptation over UDP.
+type (
+	// ServerConfig parameterizes a UDP streaming server.
+	ServerConfig = netio.ServerConfig
+	// Server streams layered data over UDP with RAP congestion control.
+	Server = netio.Server
+	// Client requests and acknowledges a UDP stream.
+	Client = netio.Client
+	// ClientStats summarizes what a client received per layer.
+	ClientStats = netio.ClientStats
+	// PipeConfig describes one direction of an emulated network path.
+	PipeConfig = netio.PipeConfig
+	// Pipe is a UDP relay imposing bandwidth, delay, and loss.
+	Pipe = netio.Pipe
+	// RAPConfig parameterizes the RAP congestion control sender.
+	RAPConfig = rap.Config
+	// VideoConfig parameterizes the client-side playout model
+	// (hierarchical decoding, startup buffering, stall accounting).
+	VideoConfig = video.Config
+	// PlaybackStats are the viewer-facing quality metrics the playout
+	// model produces (decodable layer-seconds, stalls, per-layer gaps).
+	PlaybackStats = video.Stats
+)
+
+// NewServer wraps a bound UDP socket in a streaming server.
+func NewServer(conn *net.UDPConn, cfg ServerConfig) (*Server, error) {
+	return netio.NewServer(conn, cfg)
+}
+
+// DialStream connects to a server (or pipe), streams for dur, and
+// returns the per-layer receive statistics.
+func DialStream(ctx context.Context, addr string, dur time.Duration) (ClientStats, error) {
+	cl, err := netio.Dial(addr)
+	if err != nil {
+		return ClientStats{}, err
+	}
+	defer cl.Close()
+	if err := cl.Stream(ctx, dur); err != nil {
+		return cl.Stats(), err
+	}
+	return cl.Stats(), nil
+}
+
+// NewPipe starts a bidirectional UDP relay with impairments; clients
+// dial its Addr() instead of the server's.
+func NewPipe(listenAddr, serverAddr string, up, down PipeConfig, seed int64) (*Pipe, error) {
+	return netio.NewPipe(listenAddr, serverAddr, up, down, seed)
+}
+
+// DialVideoStream is DialStream with the playout model attached: the
+// returned stats include decodable-quality metrics, and base-layer loss
+// holes are repaired via selective retransmission NACKs.
+func DialVideoStream(ctx context.Context, addr string, dur time.Duration, cfg VideoConfig) (ClientStats, error) {
+	cl, err := netio.DialVideo(addr, cfg)
+	if err != nil {
+		return ClientStats{}, err
+	}
+	defer cl.Close()
+	if err := cl.Stream(ctx, dur); err != nil {
+		return cl.Stats(), err
+	}
+	return cl.Stats(), nil
+}
