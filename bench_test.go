@@ -61,10 +61,11 @@ func BenchmarkFigure11(b *testing.B) {
 }
 
 // BenchmarkFigure12 regenerates Fig 12: the effect of Kmax in {2,3,4} on
-// buffering and the number of quality changes.
+// buffering and the number of quality changes. The three runs execute on
+// the parallel sweep runner.
 func BenchmarkFigure12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := figures.Figure12(figures.DefaultScale)
+		res, err := figures.Figure12(figures.DefaultScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +95,7 @@ func BenchmarkFigure13(b *testing.B) {
 // over drop events for Kmax in {2,3,4,5,8} on tests T1 and T2.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cells, err := figures.TablesSweep(nil, figures.DefaultScale)
+		cells, err := figures.TablesSweep(nil, figures.DefaultScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func BenchmarkTable1(b *testing.B) {
 // caused by poor inter-layer buffer distribution.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cells, err := figures.TablesSweep(nil, figures.DefaultScale)
+		cells, err := figures.TablesSweep(nil, figures.DefaultScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,49 +123,79 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationDropTailVsRED compares the bottleneck queue
-// disciplines (the paper's future-work variant): loss clustering under
-// DropTail vs RED and its effect on the QA flow's quality changes.
-func BenchmarkAblationDropTailVsRED(b *testing.B) {
-	for _, red := range []bool{false, true} {
-		name := "droptail"
-		if red {
-			name = "red"
-		}
-		b.Run(name, func(b *testing.B) {
+// BenchmarkTablesSweep runs the full 10-simulation Table 1/2 sweep
+// sequentially (workers=1) and on the parallel runner (workers=CPUs), so
+// `go test -bench TablesSweep` shows the wall-clock speedup directly.
+// Both variants produce identical TableCell values (see
+// figures.TestTablesSweepParallelMatchesSequential and
+// scenario.TestRunAllMatchesSequential).
+func BenchmarkTablesSweep(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cfg := scenario.T1(2, figures.DefaultScale)
-				cfg.Duration = 60
-				cfg.UseRED = red
-				res, err := scenario.Run(cfg)
-				if err != nil {
+				if _, err := figures.TablesSweep(nil, figures.DefaultScale, bc.workers); err != nil {
 					b.Fatal(err)
 				}
-				b.ReportMetric(float64(res.Stats.Adds+res.Stats.Drops), "changes")
-				b.ReportMetric(100*res.Stats.AvgEfficiency, "pct_eff")
-				b.ReportMetric(res.Series.Get("qa.layers").AvgBetween(20, 60), "layers_avg")
 			}
 		})
 	}
 }
 
+// BenchmarkAblationDropTailVsRED compares the bottleneck queue
+// disciplines (the paper's future-work variant): loss clustering under
+// DropTail vs RED and its effect on the QA flow's quality changes. The
+// two variants are independent runs and execute on the parallel runner.
+func BenchmarkAblationDropTailVsRED(b *testing.B) {
+	names := []string{"droptail", "red"}
+	cfgs := make([]scenario.Config, len(names))
+	for i, red := range []bool{false, true} {
+		cfg := scenario.T1(2, figures.DefaultScale)
+		cfg.Duration = 60
+		cfg.UseRED = red
+		cfgs[i] = cfg
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := scenario.RunAll(cfgs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, res := range results {
+			b.ReportMetric(float64(res.Stats.Adds+res.Stats.Drops), fname("changes_%s", names[j]))
+			b.ReportMetric(100*res.Stats.AvgEfficiency, fname("pct_eff_%s", names[j]))
+			b.ReportMetric(res.Series.Get("qa.layers").AvgBetween(20, 60), fname("layers_avg_%s", names[j]))
+		}
+	}
+}
+
 // BenchmarkAblationAllocation compares the paper's optimal inter-layer
-// buffer allocation against §2.3's two strawmen under T2's CBR stress.
+// buffer allocation against §2.3's two strawmen under T2's CBR stress,
+// all three variants concurrently on the parallel runner.
 func BenchmarkAblationAllocation(b *testing.B) {
-	for _, alloc := range []core.Allocation{core.AllocOptimal, core.AllocEqual, core.AllocBase} {
-		b.Run(alloc.String(), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				cfg := scenario.T2(3, figures.DefaultScale)
-				cfg.QA.Alloc = alloc
-				res, err := scenario.Run(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(100*res.Stats.AvgEfficiency, "pct_eff")
-				b.ReportMetric(res.Stats.PoorDistPct, "pct_poor")
-				b.ReportMetric(res.StallSec, "s_stalled")
-			}
-		})
+	allocs := []core.Allocation{core.AllocOptimal, core.AllocEqual, core.AllocBase}
+	cfgs := make([]scenario.Config, len(allocs))
+	for i, alloc := range allocs {
+		cfg := scenario.T2(3, figures.DefaultScale)
+		cfg.QA.Alloc = alloc
+		cfgs[i] = cfg
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := scenario.RunAll(cfgs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, res := range results {
+			b.ReportMetric(100*res.Stats.AvgEfficiency, fname("pct_eff_%s", allocs[j]))
+			b.ReportMetric(res.Stats.PoorDistPct, fname("pct_poor_%s", allocs[j]))
+			b.ReportMetric(res.StallSec, fname("s_stalled_%s", allocs[j]))
+		}
 	}
 }
 
@@ -239,35 +270,36 @@ func fname(format string, args ...any) string {
 
 // BenchmarkAblationFineGrainRAP compares RAP-vs-TCP bandwidth sharing
 // with and without RAP's fine-grain inter-ACK adaptation (the variant
-// the paper sets aside). Fine grain eases off as queues build, which
-// narrows the RAP:TCP goodput ratio.
+// the paper sets aside), both runs concurrently on the parallel runner.
+// Fine grain eases off as queues build, which narrows the RAP:TCP
+// goodput ratio.
 func BenchmarkAblationFineGrainRAP(b *testing.B) {
-	for _, fg := range []bool{false, true} {
-		name := "coarse"
-		if fg {
-			name = "finegrain"
+	names := []string{"coarse", "finegrain"}
+	cfgs := make([]scenario.Config, len(names))
+	for i, fg := range []bool{false, true} {
+		cfg := scenario.T1(2, figures.DefaultScale)
+		cfg.Duration = 60
+		cfg.FineGrainRAP = fg
+		cfgs[i] = cfg
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := scenario.RunAll(cfgs, 0)
+		if err != nil {
+			b.Fatal(err)
 		}
-		b.Run(name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				cfg := scenario.T1(2, figures.DefaultScale)
-				cfg.Duration = 60
-				cfg.FineGrainRAP = fg
-				res, err := scenario.Run(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				var rapG, tcpG int64
-				for _, r := range res.RAPSrcs {
-					rapG += r.RecvBytes
-				}
-				for _, s := range res.TCPSrcs {
-					tcpG += s.GoodputBytes()
-				}
-				rapAvg := float64(rapG) / float64(len(res.RAPSrcs))
-				tcpAvg := float64(tcpG) / float64(len(res.TCPSrcs))
-				b.ReportMetric(rapAvg/tcpAvg, "rap/tcp_ratio")
-				b.ReportMetric(res.Series.Get("qa.layers").AvgBetween(20, 60), "layers_avg")
+		for j, res := range results {
+			var rapG, tcpG int64
+			for _, r := range res.RAPSrcs {
+				rapG += r.RecvBytes
 			}
-		})
+			for _, s := range res.TCPSrcs {
+				tcpG += s.GoodputBytes()
+			}
+			rapAvg := float64(rapG) / float64(len(res.RAPSrcs))
+			tcpAvg := float64(tcpG) / float64(len(res.TCPSrcs))
+			b.ReportMetric(rapAvg/tcpAvg, fname("rap/tcp_ratio_%s", names[j]))
+			b.ReportMetric(res.Series.Get("qa.layers").AvgBetween(20, 60), fname("layers_avg_%s", names[j]))
+		}
 	}
 }

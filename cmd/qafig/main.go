@@ -12,6 +12,12 @@
 //	qafig -tables           # Tables 1 and 2 (Kmax sweep over T1/T2)
 //	qafig -all              # everything, summaries only
 //	qafig -fig 11 -scale 1  # raw 800 Kb/s parameterization
+//	qafig -tables -parallel 4   # sweep on 4 workers (0 = all cores)
+//	qafig -tables -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Sweeps (-tables, -fig 12, -all) run their independent simulations on a
+// worker pool; -parallel bounds the workers (default: one per CPU). The
+// output is byte-identical to a sequential run.
 package main
 
 import (
@@ -19,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"qav/internal/figures"
 )
@@ -29,47 +37,74 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything (summaries only)")
 	scale := flag.Float64("scale", figures.DefaultScale, "bottleneck scale factor (8 = paper figure axes)")
 	kmax := flag.Int("kmax", 2, "smoothing factor for -fig 11")
+	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU)")
 	out := flag.String("out", "", "write output to file instead of stdout")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
+	if err := run(*fig, *kmax, *scale, *parallel, *tables, *all, *out, *cpuprofile, *memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "qafig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, kmax int, scale float64, parallel int, tables, all bool, out, cpuprofile, memprofile string) error {
 	w := io.Writer(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}()
+	}
 
 	switch {
-	case *all:
-		if err := runAll(w, *scale); err != nil {
-			fatal(err)
-		}
-	case *tables:
-		cells, err := figures.TablesSweep(nil, *scale)
+	case all:
+		return runAll(w, scale, parallel)
+	case tables:
+		cells, err := figures.TablesSweep(nil, scale, parallel)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		if err := figures.RenderTables(w, cells); err != nil {
-			fatal(err)
-		}
-	case *fig != 0:
-		res, err := runFigure(*fig, *kmax, *scale)
+		return figures.RenderTables(w, cells)
+	case fig != 0:
+		res, err := runFigure(fig, kmax, scale, parallel)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		if err := res.Render(w); err != nil {
-			fatal(err)
-		}
+		return res.Render(w)
 	default:
 		flag.Usage()
 		os.Exit(2)
+		return nil
 	}
 }
 
-func runFigure(fig, kmax int, scale float64) (*figures.Result, error) {
+func runFigure(fig, kmax int, scale float64, parallel int) (*figures.Result, error) {
 	switch fig {
 	case 1:
 		return figures.Figure1()
@@ -78,7 +113,7 @@ func runFigure(fig, kmax int, scale float64) (*figures.Result, error) {
 	case 11:
 		return figures.Figure11(kmax, scale)
 	case 12:
-		return figures.Figure12(scale)
+		return figures.Figure12(scale, parallel)
 	case 13:
 		return figures.Figure13(scale)
 	default:
@@ -86,9 +121,9 @@ func runFigure(fig, kmax int, scale float64) (*figures.Result, error) {
 	}
 }
 
-func runAll(w io.Writer, scale float64) error {
+func runAll(w io.Writer, scale float64, parallel int) error {
 	for _, fig := range []int{1, 2, 11, 12, 13} {
-		res, err := runFigure(fig, 2, scale)
+		res, err := runFigure(fig, 2, scale, parallel)
 		if err != nil {
 			return err
 		}
@@ -98,14 +133,9 @@ func runAll(w io.Writer, scale float64) error {
 		}
 		fmt.Fprintln(w)
 	}
-	cells, err := figures.TablesSweep(nil, scale)
+	cells, err := figures.TablesSweep(nil, scale, parallel)
 	if err != nil {
 		return err
 	}
 	return figures.RenderTables(w, cells)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "qafig:", err)
-	os.Exit(1)
 }

@@ -51,10 +51,12 @@ func main() {
 	for {
 		select {
 		case <-sig:
-			fmt.Printf("qapipe: drops up=%d down=%d\n", pipe.UpDrops, pipe.DownDrops)
+			up, down := pipe.Drops()
+			fmt.Printf("qapipe: drops up=%d down=%d\n", up, down)
 			return
 		case <-tick.C:
-			fmt.Printf("qapipe: drops up=%d down=%d\n", pipe.UpDrops, pipe.DownDrops)
+			up, down := pipe.Drops()
+			fmt.Printf("qapipe: drops up=%d down=%d\n", up, down)
 		}
 	}
 }

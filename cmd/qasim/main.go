@@ -1,15 +1,24 @@
-// Command qasim runs a single custom quality adaptation simulation and
-// dumps its traces and event log.
+// Command qasim runs custom quality adaptation simulations and dumps
+// their traces and event logs.
 //
 // Example:
 //
 //	qasim -bw 800000 -rtt 0.04 -tcp 10 -rap 9 -kmax 2 -dur 60 -c 10000
+//
+// -kmax accepts a comma-separated list; with more than one value the
+// independent runs execute concurrently on a worker pool (-parallel
+// bounds the workers, 0 = one per CPU) and are reported in order, with
+// results identical to running them one at a time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"qav/internal/core"
 	"qav/internal/scenario"
@@ -26,65 +35,125 @@ func main() {
 	cbrStart := flag.Float64("cbr-start", 30, "CBR start time, s")
 	cbrStop := flag.Float64("cbr-stop", 60, "CBR stop time, s")
 	c := flag.Float64("c", 10_000, "per-layer consumption rate, bytes/s")
-	kmax := flag.Int("kmax", 2, "smoothing factor")
+	kmaxList := flag.String("kmax", "2", "smoothing factor, or comma-separated list for a sweep")
 	maxLayers := flag.Int("layers", 8, "maximum encoded layers")
 	dur := flag.Float64("dur", 60, "simulated duration, seconds")
 	pkt := flag.Int("pkt", 512, "packet size, bytes")
+	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU)")
 	tsv := flag.Bool("tsv", false, "dump full time series as TSV")
 	events := flag.Bool("events", false, "dump the controller event log")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
-	cfg := scenario.Config{
-		Name:           "custom",
-		BottleneckRate: *bw,
-		LinkDelay:      *rtt / 4,
-		AccessDelay:    *rtt / 8,
-		QueueBytes:     int(*bw * *queue),
-		UseRED:         *red,
-		PacketSize:     *pkt,
-		NumTCP:         *ntcp,
-		NumRAP:         *nrap,
-		WithQA:         true,
-		QA: core.Params{
-			C:         *c,
-			Kmax:      *kmax,
-			MaxLayers: *maxLayers,
-		},
-		Duration:       *dur,
-		SampleInterval: 0.1,
-	}
-	if *cbrFrac > 0 {
-		cfg.CBRRate = *cbrFrac * *bw
-		cfg.CBRStart = *cbrStart
-		cfg.CBRStop = *cbrStop
-	}
-
-	res, err := scenario.Run(cfg)
+	kmaxes, err := parseKmaxes(*kmaxList)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qasim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
-	fmt.Printf("# %s: bw=%.0fB/s rtt=%.0fms C=%.0fB/s Kmax=%d flows=1QA+%dRAP+%dTCP\n",
-		cfg.Name, cfg.BottleneckRate, 1000*(2*(cfg.LinkDelay+cfg.AccessDelay)), *c, *kmax, *nrap, *ntcp)
-	fmt.Printf("# qa: avg_rate=%.0f avg_layers=%.2f played=%.1fs stalls=%.2fs\n",
-		res.Series.Get("qa.rate").Avg(),
-		res.Series.Get("qa.layers").Avg(),
-		res.PlayedSec, res.StallSec)
-	fmt.Printf("# events: adds=%d drops=%d backoffs=%d efficiency=%.2f%% poor-dist=%.1f%%\n",
-		res.Stats.Adds, res.Stats.Drops, res.Stats.Backoffs,
-		100*res.Stats.AvgEfficiency, res.Stats.PoorDistPct)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			runtime.GC()
+			pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}()
+	}
 
-	if *events {
-		for _, e := range res.Events {
-			fmt.Printf("%8.3f %-8s layer=%d rate=%.0f bufdrop=%.0f buftotal=%.0f poor=%v\n",
-				e.Time, e.Kind, e.Layer, e.Rate, e.BufDrop, e.BufTotal, e.PoorDist)
+	cfgs := make([]scenario.Config, len(kmaxes))
+	for i, kmax := range kmaxes {
+		cfg := scenario.Config{
+			Name:           fmt.Sprintf("custom(Kmax=%d)", kmax),
+			BottleneckRate: *bw,
+			LinkDelay:      *rtt / 4,
+			AccessDelay:    *rtt / 8,
+			QueueBytes:     int(*bw * *queue),
+			UseRED:         *red,
+			PacketSize:     *pkt,
+			NumTCP:         *ntcp,
+			NumRAP:         *nrap,
+			WithQA:         true,
+			QA: core.Params{
+				C:         *c,
+				Kmax:      kmax,
+				MaxLayers: *maxLayers,
+			},
+			Duration:       *dur,
+			SampleInterval: 0.1,
+		}
+		if *cbrFrac > 0 {
+			cfg.CBRRate = *cbrFrac * *bw
+			cfg.CBRStart = *cbrStart
+			cfg.CBRStop = *cbrStop
+		}
+		cfgs[i] = cfg
+	}
+
+	results, err := scenario.RunAll(cfgs, *parallel)
+	if err != nil {
+		fatal(err)
+	}
+
+	for i, res := range results {
+		cfg, kmax := cfgs[i], kmaxes[i]
+		fmt.Printf("# %s: bw=%.0fB/s rtt=%.0fms C=%.0fB/s Kmax=%d flows=1QA+%dRAP+%dTCP\n",
+			cfg.Name, cfg.BottleneckRate, 1000*(2*(cfg.LinkDelay+cfg.AccessDelay)), *c, kmax, *nrap, *ntcp)
+		fmt.Printf("# qa: avg_rate=%.0f avg_layers=%.2f played=%.1fs stalls=%.2fs\n",
+			res.Series.Get("qa.rate").Avg(),
+			res.Series.Get("qa.layers").Avg(),
+			res.PlayedSec, res.StallSec)
+		fmt.Printf("# events: adds=%d drops=%d backoffs=%d efficiency=%.2f%% poor-dist=%.1f%%\n",
+			res.Stats.Adds, res.Stats.Drops, res.Stats.Backoffs,
+			100*res.Stats.AvgEfficiency, res.Stats.PoorDistPct)
+
+		if *events {
+			for _, e := range res.Events {
+				fmt.Printf("%8.3f %-8s layer=%d rate=%.0f bufdrop=%.0f buftotal=%.0f poor=%v\n",
+					e.Time, e.Kind, e.Layer, e.Rate, e.BufDrop, e.BufTotal, e.PoorDist)
+			}
+		}
+		if *tsv {
+			if err := res.Series.WriteTSV(os.Stdout); err != nil {
+				fatal(err)
+			}
 		}
 	}
-	if *tsv {
-		if err := res.Series.WriteTSV(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "qasim:", err)
-			os.Exit(1)
+}
+
+func parseKmaxes(list string) ([]int, error) {
+	var kmaxes []int
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
 		}
+		k, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad -kmax value %q: %v", part, err)
+		}
+		kmaxes = append(kmaxes, k)
 	}
+	if len(kmaxes) == 0 {
+		return nil, fmt.Errorf("-kmax list %q is empty", list)
+	}
+	return kmaxes, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qasim:", err)
+	os.Exit(1)
 }

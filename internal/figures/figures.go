@@ -132,15 +132,22 @@ func Figure11(kmax int, scale float64) (*Result, error) {
 }
 
 // Figure12 regenerates the Kmax comparison: number of active layers and
-// per-layer buffering for Kmax in {2, 3, 4}.
-func Figure12(scale float64) (*Result, error) {
+// per-layer buffering for Kmax in {2, 3, 4}. The three runs are
+// independent simulations and execute concurrently on workers goroutines
+// (<= 0 means one per CPU); results are identical to the sequential path.
+func Figure12(scale float64, workers int) (*Result, error) {
 	out := &Result{Name: "Figure 12: effect of Kmax on buffering and quality", Series: trace.NewSet()}
-	for _, kmax := range []int{2, 3, 4} {
-		cfg := scenario.T1(kmax, scale)
-		res, err := scenario.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+	kmaxes := []int{2, 3, 4}
+	cfgs := make([]scenario.Config, len(kmaxes))
+	for i, kmax := range kmaxes {
+		cfgs[i] = scenario.T1(kmax, scale)
+	}
+	results, err := scenario.RunAll(cfgs, workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, kmax := range kmaxes {
+		cfg, res := cfgs[i], results[i]
 		layers := res.Series.Get("qa.layers")
 		buft := res.Series.Get("qa.buftotal")
 		dstL := out.Series.Series(fmt.Sprintf("kmax%d.layers", kmax))
@@ -185,26 +192,32 @@ type TableCell struct {
 }
 
 // TablesSweep runs the Table 1/2 sweep: tests T1 and T2 for each Kmax.
-// The paper uses Kmax in {2, 3, 4, 5, 8}.
-func TablesSweep(kmaxes []int, scale float64) ([]TableCell, error) {
+// The paper uses Kmax in {2, 3, 4, 5, 8}. The 2 x len(kmaxes) runs are
+// independent full simulations and execute concurrently on workers
+// goroutines (<= 0 means one per CPU); cell values are identical to the
+// sequential path because each run owns its engine and RNGs.
+func TablesSweep(kmaxes []int, scale float64, workers int) ([]TableCell, error) {
 	if len(kmaxes) == 0 {
 		kmaxes = []int{2, 3, 4, 5, 8}
 	}
+	var cfgs []scenario.Config
 	var cells []TableCell
 	for _, test := range []string{"T1", "T2"} {
 		for _, kmax := range kmaxes {
-			var cfg scenario.Config
 			if test == "T1" {
-				cfg = scenario.T1(kmax, scale)
+				cfgs = append(cfgs, scenario.T1(kmax, scale))
 			} else {
-				cfg = scenario.T2(kmax, scale)
+				cfgs = append(cfgs, scenario.T2(kmax, scale))
 			}
-			res, err := scenario.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, TableCell{Test: test, Kmax: kmax, DropStats: res.Stats})
+			cells = append(cells, TableCell{Test: test, Kmax: kmax})
 		}
+	}
+	results, err := scenario.RunAll(cfgs, workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		cells[i].DropStats = res.Stats
 	}
 	return cells, nil
 }

@@ -76,6 +76,31 @@ func TestResultGetMissingKey(t *testing.T) {
 	}
 }
 
+// The parallel sweep must produce exactly the cells the sequential sweep
+// does — same order, same DropStats. Paper-scale, so skipped in -short.
+func TestTablesSweepParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale simulation")
+	}
+	kmaxes := []int{2}
+	seq, err := TablesSweep(kmaxes, DefaultScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := TablesSweep(kmaxes, DefaultScale, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("cell counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("cell %d differs:\nseq: %+v\npar: %+v", i, seq[i], par[i])
+		}
+	}
+}
+
 // The expensive paper-scale figures run only outside -short.
 func TestFigure11And13ShapeMatchesPaper(t *testing.T) {
 	if testing.Short() {

@@ -38,8 +38,16 @@ type Pipe struct {
 	downFree  time.Time
 	closed    bool
 	wg        sync.WaitGroup
-	UpDrops   int64
-	DownDrops int64
+	upDrops   int64
+	downDrops int64
+}
+
+// Drops returns the cumulative per-direction drop counts. Safe to call
+// while the relay is running.
+func (p *Pipe) Drops() (up, down int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.upDrops, p.downDrops
 }
 
 // NewPipe starts a relay listening on listenAddr and forwarding to
@@ -189,10 +197,11 @@ func (p *Pipe) impair(pkt []byte, toServer bool) {
 	}
 }
 
+// drop records a dropped packet; the caller must hold p.mu.
 func (p *Pipe) drop(toServer bool) {
 	if toServer {
-		p.UpDrops++
+		p.upDrops++
 	} else {
-		p.DownDrops++
+		p.downDrops++
 	}
 }

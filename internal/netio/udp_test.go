@@ -201,7 +201,7 @@ func TestPipeLossRate(t *testing.T) {
 	if frac < 0.55 || frac > 0.85 {
 		t.Fatalf("delivered fraction %.2f through 30%% loss, want ~0.70", frac)
 	}
-	if pipe.UpDrops == 0 {
+	if up, _ := pipe.Drops(); up == 0 {
 		t.Fatal("drop counter never incremented")
 	}
 }

@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunAll executes every config with Run on a bounded worker pool and
+// returns the results in input order. workers <= 0 means one worker per
+// available CPU (runtime.GOMAXPROCS(0)).
+//
+// Each run is an independent simulation with its own engine and seeded
+// RNGs, so the outcome is deterministic: RunAll produces byte-identical
+// Results to calling Run sequentially, regardless of worker count or
+// scheduling order. If any run fails, RunAll still finishes the others
+// and returns the error of the earliest failing config (by input index)
+// alongside the partial results (failed slots are nil).
+func RunAll(cfgs []Config, workers int) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	if len(cfgs) == 0 {
+		return results, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+
+	errs := make([]error, len(cfgs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = Run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// sweepConfigs is the shortened T1/T2 x Kmax grid the determinism tests
+// run; short durations keep the full cross-check affordable under -race.
+func sweepConfigs() []Config {
+	var cfgs []Config
+	for _, kmax := range []int{2, 4} {
+		t1 := T1(kmax, 1)
+		t1.Duration = 20
+		cfgs = append(cfgs, t1)
+		t2 := T2(kmax, 1)
+		t2.Duration = 20
+		cfgs = append(cfgs, t2)
+	}
+	return cfgs
+}
+
+// assertResultsIdentical compares everything a figure or table consumes:
+// every series (names, timestamps, values), the controller event log,
+// and the drop statistics. reflect.DeepEqual on float64 slices is exact
+// (byte-identical), which is the determinism guarantee RunAll documents.
+func assertResultsIdentical(t *testing.T, want, got *Result) {
+	t.Helper()
+	wantNames := want.Series.Names()
+	gotNames := got.Series.Names()
+	if !reflect.DeepEqual(wantNames, gotNames) {
+		t.Fatalf("series names differ:\nseq: %v\npar: %v", wantNames, gotNames)
+	}
+	for _, name := range wantNames {
+		ws, gs := want.Series.Get(name), got.Series.Get(name)
+		if !reflect.DeepEqual(ws.T, gs.T) {
+			t.Fatalf("series %q timestamps differ", name)
+		}
+		if !reflect.DeepEqual(ws.V, gs.V) {
+			t.Fatalf("series %q values differ", name)
+		}
+	}
+	if !reflect.DeepEqual(want.Events, got.Events) {
+		t.Fatalf("event logs differ: %d vs %d events", len(want.Events), len(got.Events))
+	}
+	if want.Stats != got.Stats {
+		t.Fatalf("drop stats differ:\nseq: %+v\npar: %+v", want.Stats, got.Stats)
+	}
+	if want.PlayedSec != got.PlayedSec || want.StallSec != got.StallSec || want.LayerSeconds != got.LayerSeconds {
+		t.Fatalf("playback summary differs: (%v,%v,%v) vs (%v,%v,%v)",
+			want.PlayedSec, want.StallSec, want.LayerSeconds,
+			got.PlayedSec, got.StallSec, got.LayerSeconds)
+	}
+}
+
+// RunAll must produce byte-identical output to the sequential path for
+// every worker count, including more workers than configs.
+func TestRunAllMatchesSequential(t *testing.T) {
+	cfgs := sweepConfigs()
+	seq := make([]*Result, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[i] = res
+	}
+	for _, workers := range []int{1, 2, 4, len(cfgs) + 3} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			par, err := RunAll(cfgs, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par) != len(cfgs) {
+				t.Fatalf("got %d results, want %d", len(par), len(cfgs))
+			}
+			for i := range cfgs {
+				if par[i].Cfg.Name != cfgs[i].Name {
+					t.Fatalf("result %d is %q, want %q: ordering lost", i, par[i].Cfg.Name, cfgs[i].Name)
+				}
+				assertResultsIdentical(t, seq[i], par[i])
+			}
+		})
+	}
+}
+
+func TestRunAllEmpty(t *testing.T) {
+	res, err := RunAll(nil, 4)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("RunAll(nil) = %v, %v", res, err)
+	}
+}
+
+// A failing config must surface the earliest error by input index while
+// the remaining runs still complete.
+func TestRunAllAggregatesFirstError(t *testing.T) {
+	good := SingleRAP()
+	good.Duration = 5
+	cfgs := []Config{good, {}, good, {}}
+	res, err := RunAll(cfgs, 2)
+	if err == nil {
+		t.Fatal("invalid config did not error")
+	}
+	if res[0] == nil || res[2] == nil {
+		t.Fatal("valid configs did not finish")
+	}
+	if res[1] != nil || res[3] != nil {
+		t.Fatal("invalid configs produced results")
+	}
+}
+
+// MaxTraceLayers beyond the old fixed [16] counter arrays must run (the
+// sampler used to panic with index out of range) and must emit the
+// delivered-rate series alongside the transmit-rate series.
+func TestRunManyTraceLayersAndDeliveredSeries(t *testing.T) {
+	cfg := SingleQA(2)
+	cfg.Duration = 10
+	cfg.MaxTraceLayers = 20
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"qa.tx.l0", "qa.rx.l0", "qa.tx.l19", "qa.rx.l19"} {
+		if res.Series.Get(name) == nil {
+			t.Fatalf("series %q missing", name)
+		}
+	}
+	// The base layer is delivered on a private link: its rx series must
+	// carry actual data, not stay silently at zero.
+	if res.Series.Get("qa.rx.l0").Max() <= 0 {
+		t.Fatal("qa.rx.l0 never saw delivered bytes")
+	}
+	// Sent and delivered totals must roughly agree on a loss-light link.
+	tx := res.Series.Get("qa.tx.l0").Avg()
+	rx := res.Series.Get("qa.rx.l0").Avg()
+	if rx > tx*1.5 {
+		t.Fatalf("delivered rate %v far above transmit rate %v", rx, tx)
+	}
+}

@@ -146,6 +146,11 @@ func SingleQA(kmax int) Config {
 }
 
 // Run executes the scenario and collects traces and metrics.
+//
+// Each call owns a private engine, queues, and seeded RNGs and touches no
+// package-level state, so independent Runs are safe to execute
+// concurrently (see RunAll) and always produce identical results for
+// identical configs.
 func Run(cfg Config) (*Result, error) {
 	if cfg.BottleneckRate <= 0 || cfg.Duration <= 0 {
 		return nil, fmt.Errorf("scenario: incomplete config %+v", cfg)
@@ -226,9 +231,42 @@ func Run(cfg Config) (*Result, error) {
 		flowID++
 	}
 
-	// Periodic sampler.
-	var lastSent [16]int64
-	var lastDelivered [16]int64
+	// Periodic sampler. Series handles and per-layer counters are hoisted
+	// out of the closure: resolving fmt.Sprintf names through the set's
+	// map on every 0.1 s tick for every layer dominated the sample cost.
+	// The counters are sized from the config, so MaxTraceLayers > 16 no
+	// longer indexes out of range.
+	type layerSeries struct {
+		buf, share, drain, tx, rx *trace.Series
+	}
+	lastSent := make([]int64, cfg.MaxTraceLayers)
+	lastDelivered := make([]int64, cfg.MaxTraceLayers)
+	var (
+		sRate, sCons, sLayers, sBufTotal *trace.Series
+		perLayer                         []layerSeries
+	)
+	if res.QASrc != nil {
+		sRate = res.Series.Series("qa.rate")
+		sCons = res.Series.Series("qa.consumption")
+		sLayers = res.Series.Series("qa.layers")
+		sBufTotal = res.Series.Series("qa.buftotal")
+		perLayer = make([]layerSeries, cfg.MaxTraceLayers)
+		for l := range perLayer {
+			perLayer[l] = layerSeries{
+				buf:   res.Series.Series(fmt.Sprintf("qa.buf.l%d", l)),
+				share: res.Series.Series(fmt.Sprintf("qa.share.l%d", l)),
+				drain: res.Series.Series(fmt.Sprintf("qa.drain.l%d", l)),
+				tx:    res.Series.Series(fmt.Sprintf("qa.tx.l%d", l)),
+				rx:    res.Series.Series(fmt.Sprintf("qa.rx.l%d", l)),
+			}
+		}
+	}
+	sRap := make([]*trace.Series, len(res.RAPSrcs))
+	for i := range sRap {
+		sRap[i] = res.Series.Series(fmt.Sprintf("rap%d.rate", i))
+	}
+	sQueue := res.Series.Series("queue.bytes")
+
 	var sample func()
 	sample = func() {
 		now := eng.Now()
@@ -236,14 +274,14 @@ func Run(cfg Config) (*Result, error) {
 			q := res.QASrc
 			// Tick the controller so consumption is current at sample time.
 			q.Ctrl.Tick(now, q.Snd.Rate(), q.Snd.ConservativeSlope())
-			res.Series.Series("qa.rate").Add(now, q.Snd.Rate())
-			res.Series.Series("qa.consumption").Add(now, q.Ctrl.ConsumptionRate())
-			res.Series.Series("qa.layers").Add(now, float64(q.Ctrl.ActiveLayers()))
-			res.Series.Series("qa.buftotal").Add(now, q.Ctrl.TotalBuf())
+			sRate.Add(now, q.Snd.Rate())
+			sCons.Add(now, q.Ctrl.ConsumptionRate())
+			sLayers.Add(now, float64(q.Ctrl.ActiveLayers()))
+			sBufTotal.Add(now, q.Ctrl.TotalBuf())
 			bufs := q.Ctrl.Buffers()
 			shares := q.Ctrl.Shares()
 			for l := 0; l < cfg.MaxTraceLayers; l++ {
-				var buf, share, drain, txRate float64
+				var buf, share, drain float64
 				if l < len(bufs) {
 					buf = bufs[l]
 					share = shares[l]
@@ -254,19 +292,28 @@ func Run(cfg Config) (*Result, error) {
 						}
 					}
 				}
-				txRate = float64(q.SentByLayer[l]-lastSent[l]) / cfg.SampleInterval
-				lastSent[l] = q.SentByLayer[l]
-				lastDelivered[l] = q.DeliveredByLayer[l]
-				res.Series.Series(fmt.Sprintf("qa.buf.l%d", l)).Add(now, buf)
-				res.Series.Series(fmt.Sprintf("qa.share.l%d", l)).Add(now, share)
-				res.Series.Series(fmt.Sprintf("qa.drain.l%d", l)).Add(now, drain)
-				res.Series.Series(fmt.Sprintf("qa.tx.l%d", l)).Add(now, txRate)
+				var sent, delivered int64
+				if l < len(q.SentByLayer) {
+					sent = q.SentByLayer[l]
+				}
+				if l < len(q.DeliveredByLayer) {
+					delivered = q.DeliveredByLayer[l]
+				}
+				txRate := float64(sent-lastSent[l]) / cfg.SampleInterval
+				rxRate := float64(delivered-lastDelivered[l]) / cfg.SampleInterval
+				lastSent[l] = sent
+				lastDelivered[l] = delivered
+				perLayer[l].buf.Add(now, buf)
+				perLayer[l].share.Add(now, share)
+				perLayer[l].drain.Add(now, drain)
+				perLayer[l].tx.Add(now, txRate)
+				perLayer[l].rx.Add(now, rxRate)
 			}
 		}
 		for i, r := range res.RAPSrcs {
-			res.Series.Series(fmt.Sprintf("rap%d.rate", i)).Add(now, r.Snd.Rate())
+			sRap[i].Add(now, r.Snd.Rate())
 		}
-		res.Series.Series("queue.bytes").Add(now, float64(net.Q.Bytes()))
+		sQueue.Add(now, float64(net.Q.Bytes()))
 		if now+cfg.SampleInterval <= cfg.Duration {
 			eng.After(cfg.SampleInterval, sample)
 		}

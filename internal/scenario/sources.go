@@ -90,9 +90,10 @@ type QASource struct {
 	seqLayer map[int64]int
 
 	// SentByLayer / DeliveredByLayer count payload bytes per layer
-	// (cumulative), for the Fig 11 per-layer transmit-rate breakdown.
-	SentByLayer      [16]int64
-	DeliveredByLayer [16]int64
+	// (cumulative), for the Fig 11 per-layer transmit- and delivered-rate
+	// breakdowns. They grow on demand, so any MaxLayers works.
+	SentByLayer      []int64
+	DeliveredByLayer []int64
 	// LostPkts counts data packets inferred lost.
 	LostPkts int64
 }
@@ -121,7 +122,8 @@ func (q *QASource) sendLoop() {
 	layer := q.Ctrl.PickLayer(now, q.Snd.Rate(), q.Snd.ConservativeSlope(), q.pktSize)
 	seq := q.Snd.OnSend(now)
 	q.seqLayer[seq] = layer
-	if layer >= 0 && layer < len(q.SentByLayer) {
+	if layer >= 0 {
+		q.SentByLayer = growCounters(q.SentByLayer, layer)
 		q.SentByLayer[layer] += int64(q.pktSize)
 	}
 	p := &sim.Packet{
@@ -153,10 +155,19 @@ func (q *QASource) recvAck(p *sim.Packet) {
 	if layer, ok := q.seqLayer[p.AckSeq]; ok {
 		delete(q.seqLayer, p.AckSeq)
 		q.Ctrl.OnDelivered(now, layer, q.pktSize)
-		if layer >= 0 && layer < len(q.DeliveredByLayer) {
+		if layer >= 0 {
+			q.DeliveredByLayer = growCounters(q.DeliveredByLayer, layer)
 			q.DeliveredByLayer[layer] += int64(q.pktSize)
 		}
 	}
+}
+
+// growCounters extends a per-layer counter slice so index layer is valid.
+func growCounters(c []int64, layer int) []int64 {
+	for len(c) <= layer {
+		c = append(c, 0)
+	}
+	return c
 }
 
 func (q *QASource) onBackoff(now float64, b *rap.Backoff) {

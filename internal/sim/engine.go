@@ -13,30 +13,38 @@ import (
 	"math"
 )
 
-// Event is a scheduled callback in virtual time.
+// Event is a scheduled callback in virtual time. Events are recycled
+// through the engine's free list once they fire (or are skipped as dead),
+// so a Timer must never trust its *event pointer alone: the generation
+// counter ties a Timer to one particular scheduling of the event.
 type event struct {
 	time float64
 	seq  uint64 // tie-breaker: preserves scheduling order at equal times
 	fn   func()
 	idx  int
+	gen  uint64 // bumped every time the event is recycled
 	dead bool
 }
 
 // Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+type Timer struct {
+	ev  *event
+	gen uint64
+}
 
 // Cancel prevents the timer's callback from running. Safe to call on a
-// zero Timer or after the event has fired.
+// zero Timer or after the event has fired (including after the engine
+// has recycled the underlying event for a later scheduling).
 func (t Timer) Cancel() {
-	if t.ev != nil {
+	if t.ev != nil && t.ev.gen == t.gen {
 		t.ev.dead = true
 	}
 }
 
 // Active reports whether the timer is still pending.
-func (t Timer) Active() bool { return t.ev != nil && !t.dead() }
-
-func (t Timer) dead() bool { return t.ev.dead || t.ev.idx < 0 }
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.dead && t.ev.idx >= 0
+}
 
 type eventHeap []*event
 
@@ -68,11 +76,16 @@ func (h *eventHeap) Pop() any {
 }
 
 // Engine drives virtual time. The zero value is not usable; call NewEngine.
+//
+// An Engine is single-threaded: all scheduling and stepping must happen
+// from one goroutine. Concurrency lives above it (see scenario.RunAll,
+// which runs one private Engine per worker).
 type Engine struct {
 	now    float64
 	seq    uint64
 	events eventHeap
 	nRun   uint64
+	free   []*event // recycled events; a simulation at steady state stops allocating
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -94,9 +107,26 @@ func (e *Engine) At(t float64, fn func()) Timer {
 		panic("sim: scheduling event at non-finite time")
 	}
 	e.seq++
-	ev := &event{time: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.time, ev.seq, ev.fn, ev.dead = t, e.seq, fn, false
+	} else {
+		ev = &event{time: t, seq: e.seq, fn: fn}
+	}
 	heap.Push(&e.events, ev)
-	return Timer{ev: ev}
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// release recycles a popped event. Bumping the generation invalidates
+// every Timer that still points at it, so a stale Cancel cannot kill an
+// unrelated future scheduling.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // After schedules fn after delay d (clamped to be non-negative).
@@ -112,11 +142,14 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.dead {
+			e.release(ev)
 			continue
 		}
 		e.now = ev.time
 		e.nRun++
-		ev.fn()
+		fn := ev.fn
+		e.release(ev) // safe before fn: generation bump detaches all Timers
+		fn()
 		return true
 	}
 	return false

@@ -96,6 +96,69 @@ func TestTimerCancel(t *testing.T) {
 	}
 }
 
+func TestTimerZeroValue(t *testing.T) {
+	var tm Timer
+	tm.Cancel() // must not panic
+	if tm.Active() {
+		t.Fatal("zero Timer reports active")
+	}
+}
+
+func TestTimerActiveLifecycle(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(1, func() {})
+	if !tm.Active() {
+		t.Fatal("pending timer not active")
+	}
+	e.Run()
+	if tm.Active() {
+		t.Fatal("fired timer still active")
+	}
+	tm.Cancel() // cancel after fire: must be a no-op, not corrupt state
+	tm2 := e.At(2, func() {})
+	tm2.Cancel()
+	if tm2.Active() {
+		t.Fatal("cancelled timer still active")
+	}
+}
+
+// A Timer whose event fired and was recycled into a later scheduling must
+// not be able to cancel (or observe) the new event.
+func TestTimerCancelAfterFireDoesNotKillRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	stale := e.At(1, func() {})
+	e.Run() // fires; the event goes back to the free list
+	ran := false
+	fresh := e.At(2, func() { ran = true })
+	stale.Cancel() // stale handle: recycled event must be untouched
+	if stale.Active() {
+		t.Fatal("stale timer reports active after recycle")
+	}
+	if !fresh.Active() {
+		t.Fatal("fresh timer lost its pending state")
+	}
+	e.Run()
+	if !ran {
+		t.Fatal("stale Cancel killed a recycled event")
+	}
+}
+
+// Steady-state scheduling must reuse events from the free list rather
+// than allocating one per callback.
+func TestEngineEventFreeList(t *testing.T) {
+	e := NewEngine()
+	e.At(0, func() {}) // prime the free list
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(0.001, func() {})
+		e.Step()
+	})
+	// One closure may still allocate; the event itself must not.
+	if allocs > 1 {
+		t.Fatalf("%.1f allocs per schedule+step; event free list not reusing", allocs)
+	}
+}
+
 func TestRunUntilStopsAndAdvancesClock(t *testing.T) {
 	e := NewEngine()
 	var ran []float64

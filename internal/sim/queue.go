@@ -17,10 +17,15 @@ type Queue interface {
 }
 
 // DropTail is a FIFO queue with a byte-capacity limit, the queue
-// discipline the paper's ns-2 scenarios use at the bottleneck.
+// discipline the paper's ns-2 scenarios use at the bottleneck. Packets
+// live in a ring buffer: dequeuing advances the head index instead of
+// reslicing from the front, so long-lived queues reuse one backing array
+// instead of pinning consumed prefixes until the next realloc.
 type DropTail struct {
 	limit   int // bytes
-	pkts    []*Packet
+	ring    []*Packet
+	head    int // index of the oldest packet
+	count   int
 	bytes   int
 	dropped int64
 }
@@ -40,25 +45,40 @@ func (q *DropTail) Enqueue(p *Packet) bool {
 		q.dropped++
 		return false
 	}
-	q.pkts = append(q.pkts, p)
+	if q.count == len(q.ring) {
+		q.grow()
+	}
+	q.ring[(q.head+q.count)%len(q.ring)] = p
+	q.count++
 	q.bytes += p.Size
 	return true
 }
 
+// grow doubles the ring, unwrapping the occupied span to the front.
+func (q *DropTail) grow() {
+	next := make([]*Packet, max(8, 2*len(q.ring)))
+	for i := 0; i < q.count; i++ {
+		next[i] = q.ring[(q.head+i)%len(q.ring)]
+	}
+	q.ring = next
+	q.head = 0
+}
+
 // Dequeue implements Queue.
 func (q *DropTail) Dequeue() *Packet {
-	if len(q.pkts) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	p := q.pkts[0]
-	q.pkts[0] = nil
-	q.pkts = q.pkts[1:]
+	p := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) % len(q.ring)
+	q.count--
 	q.bytes -= p.Size
 	return p
 }
 
 // Len implements Queue.
-func (q *DropTail) Len() int { return len(q.pkts) }
+func (q *DropTail) Len() int { return q.count }
 
 // Bytes implements Queue.
 func (q *DropTail) Bytes() int { return q.bytes }

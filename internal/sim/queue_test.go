@@ -70,6 +70,68 @@ func TestDropTailByteAccounting(t *testing.T) {
 	}
 }
 
+// Sustained enqueue/dequeue cycles must settle into the ring's backing
+// array: the old front-reslice implementation pinned consumed prefixes
+// and kept reallocating, so this soak asserts zero steady-state allocs.
+func TestDropTailSoakDoesNotGrow(t *testing.T) {
+	q := NewDropTail(1 << 20)
+	pkts := make([]*Packet, 64)
+	for i := range pkts {
+		pkts[i] = mkPkt(int64(i), 512)
+	}
+	// Warm up: let the ring reach its steady-state capacity.
+	for cycle := 0; cycle < 4; cycle++ {
+		for _, p := range pkts {
+			q.Enqueue(p)
+		}
+		for q.Dequeue() != nil {
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, p := range pkts {
+			if !q.Enqueue(p) {
+				t.Fatal("soak enqueue dropped below limit")
+			}
+		}
+		for q.Dequeue() != nil {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("%.1f allocs per 64-packet cycle; ring should be alloc-free at steady state", allocs)
+	}
+}
+
+func TestDropTailFIFOAcrossWraparound(t *testing.T) {
+	q := NewDropTail(1 << 20)
+	next := int64(0) // next seq to enqueue
+	want := int64(0) // next seq expected out
+	// Interleave enqueues and dequeues so head walks around the ring.
+	for step := 0; step < 200; step++ {
+		for i := 0; i < 3; i++ {
+			if !q.Enqueue(mkPkt(next, 100)) {
+				t.Fatalf("enqueue %d dropped", next)
+			}
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			p := q.Dequeue()
+			if p == nil || p.Seq != want {
+				t.Fatalf("dequeue got %v, want seq %d", p, want)
+			}
+			want++
+		}
+	}
+	for p := q.Dequeue(); p != nil; p = q.Dequeue() {
+		if p.Seq != want {
+			t.Fatalf("drain got seq %d, want %d", p.Seq, want)
+		}
+		want++
+	}
+	if want != next || q.Bytes() != 0 {
+		t.Fatalf("drained %d of %d packets, %d bytes left", want, next, q.Bytes())
+	}
+}
+
 func TestREDDropsUnderSustainedLoad(t *testing.T) {
 	q := NewRED(REDConfig{LimitBytes: 64 * 512, MeanPktSize: 512, MinThresh: 5, MaxThresh: 15, Seed: 42})
 	drops := 0

@@ -121,25 +121,54 @@ func (set *Set) Names() []string {
 // Get returns the series with the given name, or nil.
 func (set *Set) Get(name string) *Series { return set.byName[name] }
 
-// WriteTSV writes all series that share the first series' timestamps as
-// one aligned tab-separated table (time plus one column per series).
-// Series with differing sample counts are written as separate blocks.
+// tsvKey identifies series sampled on the same clock: equal length plus
+// equal first and last timestamps. Length alone is not enough — two
+// series can coincidentally share a sample count while being sampled at
+// different times, and zipping those against one time column silently
+// misaligns the table.
+type tsvKey struct {
+	n           int
+	first, last float64
+}
+
+func seriesKey(s *Series) tsvKey {
+	k := tsvKey{n: s.Len()}
+	if k.n > 0 {
+		k.first, k.last = s.T[0], s.T[k.n-1]
+	}
+	return k
+}
+
+// WriteTSV writes series sharing a sampling clock (same sample count and
+// same first/last timestamps) as one aligned tab-separated table (time
+// plus one column per series). Series on differing clocks are written as
+// separate blocks, ordered by length then start time.
 func (set *Set) WriteTSV(w io.Writer) error {
 	if len(set.order) == 0 {
 		return nil
 	}
-	// Group series by identical sample count.
-	groups := map[int][]*Series{}
-	var lens []int
+	groups := map[tsvKey][]*Series{}
+	var keys []tsvKey
 	for _, s := range set.order {
-		if _, ok := groups[s.Len()]; !ok {
-			lens = append(lens, s.Len())
+		k := seriesKey(s)
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
 		}
-		groups[s.Len()] = append(groups[s.Len()], s)
+		groups[k] = append(groups[k], s)
 	}
-	sort.Ints(lens)
-	for _, n := range lens {
-		g := groups[n]
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.n != b.n {
+			return a.n < b.n
+		}
+		if a.first != b.first {
+			return a.first < b.first
+		}
+		return a.last < b.last
+	})
+	for _, k := range keys {
+		g := groups[k]
+		n := k.n
 		if _, err := fmt.Fprintf(w, "# time"); err != nil {
 			return err
 		}

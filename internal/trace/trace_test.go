@@ -73,6 +73,58 @@ func TestWriteTSVAligned(t *testing.T) {
 	}
 }
 
+// Two series with the same sample count but different timestamps must
+// not be zipped into one table against the first series' time column.
+func TestWriteTSVSplitsEqualLengthDifferentClocks(t *testing.T) {
+	set := NewSet()
+	for i := 0; i < 3; i++ {
+		set.Series("early").Add(float64(i), 1)
+		set.Series("late").Add(10+float64(i), 2)
+	}
+	var buf bytes.Buffer
+	if err := set.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(buf.String())
+	lines := strings.Split(out, "\n")
+	// Two blocks: header+3 rows each.
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines, want 8 (two 4-line blocks):\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "# time\tearly") || strings.Contains(lines[0], "late") {
+		t.Fatalf("first header mixed clocks: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[4], "# time\tlate") {
+		t.Fatalf("second header = %q", lines[4])
+	}
+	// The late block's rows must carry its own timestamps.
+	if !strings.HasPrefix(lines[5], "10.000\t2.000") {
+		t.Fatalf("late block misaligned: %q", lines[5])
+	}
+}
+
+// Series on the same clock still share one table even when another
+// equal-length series is present.
+func TestWriteTSVGroupsByTimeVector(t *testing.T) {
+	set := NewSet()
+	for i := 0; i < 4; i++ {
+		set.Series("a").Add(float64(i), 1)
+		set.Series("b").Add(float64(i), 2)
+		set.Series("shifted").Add(float64(i) + 0.5, 3)
+	}
+	var buf bytes.Buffer
+	if err := set.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.HasPrefix(lines[0], "# time\ta\tb") {
+		t.Fatalf("same-clock series split apart: %q", lines[0])
+	}
+	if strings.Contains(lines[0], "shifted") {
+		t.Fatalf("shifted clock joined the wrong table: %q", lines[0])
+	}
+}
+
 func TestComputeDropStats(t *testing.T) {
 	events := []core.Event{
 		{Kind: core.EvPlayStart},

@@ -80,6 +80,14 @@ type (
 // Simulate runs one simulated scenario to completion.
 func Simulate(cfg SimConfig) (*SimResult, error) { return scenario.Run(cfg) }
 
+// SimulateAll runs independent scenarios concurrently on a bounded
+// worker pool (workers <= 0 means one per CPU). Results come back in
+// input order and are identical to sequential Simulate calls: each run
+// owns its engine and seeded RNGs, so scheduling cannot change outcomes.
+func SimulateAll(cfgs []SimConfig, workers int) ([]*SimResult, error) {
+	return scenario.RunAll(cfgs, workers)
+}
+
 // T1 returns the paper's first test: the QA flow sharing a bottleneck
 // with 9 RAP and 10 Sack-TCP flows. scale=8 reproduces the paper's
 // figure axes (C = 10 KB/s).

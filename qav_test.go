@@ -25,6 +25,39 @@ func TestFacadeSimulate(t *testing.T) {
 	}
 }
 
+func TestFacadeSimulateAll(t *testing.T) {
+	mk := func(kmax int) qav.SimConfig {
+		cfg := qav.SingleQA(kmax)
+		cfg.Duration = 15
+		return cfg
+	}
+	cfgs := []qav.SimConfig{mk(2), mk(4)}
+	results, err := qav.SimulateAll(cfgs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for i, res := range results {
+		if res.Cfg.QA.Kmax != cfgs[i].QA.Kmax {
+			t.Fatalf("result %d has Kmax %d, want %d: ordering lost", i, res.Cfg.QA.Kmax, cfgs[i].QA.Kmax)
+		}
+		if res.PlayedSec < 5 {
+			t.Fatalf("run %d played only %.1fs", i, res.PlayedSec)
+		}
+	}
+	// Determinism across the pool: same config, same outcome.
+	single, err := qav.Simulate(cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.PlayedSec != results[0].PlayedSec || single.StallSec != results[0].StallSec {
+		t.Fatalf("pooled run diverged from direct run: (%v,%v) vs (%v,%v)",
+			results[0].PlayedSec, results[0].StallSec, single.PlayedSec, single.StallSec)
+	}
+}
+
 func TestFacadeControllerIntegration(t *testing.T) {
 	// A downstream user integrating the controller with a custom
 	// transport uses exactly these four calls.
