@@ -1,0 +1,159 @@
+// Command qabench runs the headline simulation benchmarks in-process and
+// writes a machine-readable JSON report (ns/op, B/op, allocs/op per
+// benchmark), for tracking the per-packet hot path across changes.
+//
+// Usage:
+//
+//	qabench                      # run everything, print JSON to stdout
+//	qabench -out BENCH_PR2.json  # write the report to a file
+//	qabench -quick               # skip the ~2-minute TablesSweep runs
+//
+// Each entry carries the recorded pre-change baseline (the allocating
+// hot path before packet pooling and closure-free scheduling) alongside
+// the measured numbers, plus the relative deltas, so a single run
+// documents the regression or improvement without a second checkout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"qav/internal/figures"
+	"qav/internal/sim"
+)
+
+// baseline is the pre-optimization measurement (allocating hot path:
+// per-packet Packet and closure allocations, two events per link hop),
+// recorded on the commit before the pooled path landed, same scenario
+// parameters, one run each.
+type measurement struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+type entry struct {
+	Name     string       `json:"name"`
+	Iters    int          `json:"iterations"`
+	Current  measurement  `json:"current"`
+	Baseline *measurement `json:"baseline,omitempty"`
+	// Deltas are (current-baseline)/baseline; negative = improvement.
+	DeltaNsPct     *float64 `json:"delta_ns_pct,omitempty"`
+	DeltaAllocsPct *float64 `json:"delta_allocs_pct,omitempty"`
+}
+
+type report struct {
+	Note       string  `json:"note"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+var baselines = map[string]measurement{
+	"Figure11":               {NsPerOp: 3018892681, BytesPerOp: 154514376, AllocsPerOp: 626620},
+	"TablesSweep/sequential": {NsPerOp: 74715330671, BytesPerOp: 4044477640, AllocsPerOp: 15866667},
+	"TablesSweep/parallel":   {NsPerOp: 77665172111, BytesPerOp: 4044472176, AllocsPerOp: 15866654},
+	"Simulator":              {NsPerOp: 3090600, BytesPerOp: 1727343, AllocsPerOp: 25901},
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	quick := flag.Bool("quick", false, "skip the long TablesSweep benchmarks")
+	flag.Parse()
+
+	benches := []struct {
+		name string
+		long bool
+		fn   func(b *testing.B)
+	}{
+		{"Figure11", false, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := figures.Figure11(2, figures.DefaultScale); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"TablesSweep/sequential", true, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := figures.TablesSweep(nil, figures.DefaultScale, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"TablesSweep/parallel", true, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := figures.TablesSweep(nil, figures.DefaultScale, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Simulator", false, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine()
+				q := sim.NewDropTail(1 << 16)
+				l := sim.NewLink(eng, q, 1e6, 0.001)
+				sink := sim.ReceiverFunc(func(p *sim.Packet) {})
+				var feed func()
+				n := 0
+				feed = func() {
+					if n >= 10_000 {
+						return
+					}
+					n++
+					p := eng.Pool().Get()
+					p.Seq, p.Size, p.Dst = int64(n), 512, sink
+					l.Offer(p)
+					eng.After(0.0004, feed)
+				}
+				eng.At(0, feed)
+				eng.Run()
+			}
+		}},
+	}
+
+	rep := report{
+		Note: "baseline = pre-pooling hot path (per-packet allocations, chained link events); deltas are (current-baseline)/baseline, negative is better",
+	}
+	for _, bench := range benches {
+		if *quick && bench.long {
+			fmt.Fprintf(os.Stderr, "skipping %s (-quick)\n", bench.name)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", bench.name)
+		r := testing.Benchmark(bench.fn)
+		e := entry{
+			Name:  bench.name,
+			Iters: r.N,
+			Current: measurement{
+				NsPerOp:     r.NsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			},
+		}
+		if base, ok := baselines[bench.name]; ok {
+			b := base
+			e.Baseline = &b
+			ns := 100 * (float64(e.Current.NsPerOp) - float64(b.NsPerOp)) / float64(b.NsPerOp)
+			al := 100 * (float64(e.Current.AllocsPerOp) - float64(b.AllocsPerOp)) / float64(b.AllocsPerOp)
+			e.DeltaNsPct, e.DeltaAllocsPct = &ns, &al
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qabench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "qabench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -17,11 +17,12 @@ type Config struct {
 // Source emits fixed-size packets at a constant rate between Start and
 // Stop. Packets are unacknowledged (open-loop), like ns-2's CBR agent.
 type Source struct {
-	cfg  Config
-	eng  *sim.Engine
-	net  *sim.Dumbbell
-	seq  int64
-	sink sim.Receiver
+	cfg    Config
+	eng    *sim.Engine
+	net    *sim.Dumbbell
+	seq    int64
+	sink   sim.Receiver
+	tickFn func() // tick as a long-lived value: no closure per packet
 
 	// SentPkts counts transmissions.
 	SentPkts int64
@@ -39,7 +40,8 @@ func NewSource(eng *sim.Engine, net *sim.Dumbbell, cfg Config) *Source {
 	}
 	s := &Source{cfg: cfg, eng: eng, net: net}
 	s.sink = sim.ReceiverFunc(func(p *sim.Packet) { s.RecvPkts++ })
-	eng.At(cfg.Start, s.tick)
+	s.tickFn = s.tick
+	eng.At(cfg.Start, s.tickFn)
 	return s
 }
 
@@ -55,15 +57,11 @@ func (s *Source) tick() {
 	if !s.active(now) {
 		return
 	}
-	p := &sim.Packet{
-		FlowID:   s.cfg.FlowID,
-		Seq:      s.seq,
-		Size:     s.cfg.PacketSize,
-		Kind:     sim.Data,
-		SendTime: now,
-	}
+	p := s.eng.Pool().Get()
+	p.FlowID, p.Seq, p.Size = s.cfg.FlowID, s.seq, s.cfg.PacketSize
+	p.Kind, p.SendTime = sim.Data, now
 	s.seq++
 	s.SentPkts++
 	s.net.SendData(p, s.sink)
-	s.eng.After(float64(s.cfg.PacketSize)/s.cfg.Rate, s.tick)
+	s.eng.After(float64(s.cfg.PacketSize)/s.cfg.Rate, s.tickFn)
 }

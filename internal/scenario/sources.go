@@ -22,6 +22,12 @@ type RAPSource struct {
 	ackSize int
 	start   float64
 	sink    sim.Receiver
+	ackSink sim.Receiver
+
+	// sendFn/stepFn hold the loop methods as long-lived function values
+	// so per-packet rescheduling does not mint a closure per call.
+	sendFn func()
+	stepFn func()
 
 	// RecvBytes counts payload bytes delivered to the sink.
 	RecvBytes int64
@@ -42,31 +48,34 @@ func NewRAPSource(eng *sim.Engine, net *sim.Dumbbell, flowID int, cfg rap.Config
 		r.pktSize = r.Snd.PacketSize()
 	}
 	r.sink = sim.ReceiverFunc(r.recvData)
-	eng.At(start, r.sendLoop)
-	eng.At(start, r.stepLoop)
+	r.ackSink = sim.ReceiverFunc(r.recvAck)
+	r.sendFn = r.sendLoop
+	r.stepFn = r.stepLoop
+	eng.At(start, r.sendFn)
+	eng.At(start, r.stepFn)
 	return r
 }
 
 func (r *RAPSource) sendLoop() {
 	now := r.eng.Now()
 	seq := r.Snd.OnSend(now)
-	p := &sim.Packet{
-		FlowID: r.flowID, Seq: seq, Size: r.pktSize,
-		Kind: sim.Data, SendTime: now,
-	}
+	p := r.eng.Pool().Get()
+	p.FlowID, p.Seq, p.Size = r.flowID, seq, r.pktSize
+	p.Kind, p.SendTime = sim.Data, now
 	r.net.SendData(p, r.sink)
-	r.eng.After(r.Snd.IPG(), r.sendLoop)
+	r.eng.After(r.Snd.IPG(), r.sendFn)
 }
 
 func (r *RAPSource) stepLoop() {
 	r.Snd.Step(r.eng.Now())
-	r.eng.After(r.Snd.StepInterval(), r.stepLoop)
+	r.eng.After(r.Snd.StepInterval(), r.stepFn)
 }
 
 func (r *RAPSource) recvData(p *sim.Packet) {
 	r.RecvBytes += int64(p.Size)
-	ack := &sim.Packet{FlowID: r.flowID, Kind: sim.Ack, Size: r.ackSize, AckSeq: p.Seq}
-	r.net.SendAck(ack, sim.ReceiverFunc(r.recvAck))
+	ack := r.eng.Pool().Get()
+	ack.FlowID, ack.Kind, ack.Size, ack.AckSeq = r.flowID, sim.Ack, r.ackSize, p.Seq
+	r.net.SendAck(ack, r.ackSink)
 }
 
 func (r *RAPSource) recvAck(p *sim.Packet) {
@@ -85,6 +94,11 @@ type QASource struct {
 	pktSize int
 	ackSize int
 	sink    sim.Receiver
+	ackSink sim.Receiver
+
+	// sendFn/stepFn: see RAPSource.
+	sendFn func()
+	stepFn func()
 
 	// seqLayer attributes in-flight packets to layers for ACK crediting.
 	seqLayer map[int64]int
@@ -112,8 +126,11 @@ func NewQASource(eng *sim.Engine, net *sim.Dumbbell, flowID int, rcfg rap.Config
 	}
 	q.pktSize = q.Snd.PacketSize()
 	q.sink = sim.ReceiverFunc(q.recvData)
-	eng.At(start, q.sendLoop)
-	eng.At(start, q.stepLoop)
+	q.ackSink = sim.ReceiverFunc(q.recvAck)
+	q.sendFn = q.sendLoop
+	q.stepFn = q.stepLoop
+	eng.At(start, q.sendFn)
+	eng.At(start, q.stepFn)
 	return q
 }
 
@@ -126,12 +143,11 @@ func (q *QASource) sendLoop() {
 		q.SentByLayer = growCounters(q.SentByLayer, layer)
 		q.SentByLayer[layer] += int64(q.pktSize)
 	}
-	p := &sim.Packet{
-		FlowID: q.flowID, Seq: seq, Size: q.pktSize,
-		Kind: sim.Data, Layer: layer, SendTime: now,
-	}
+	p := q.eng.Pool().Get()
+	p.FlowID, p.Seq, p.Size = q.flowID, seq, q.pktSize
+	p.Kind, p.Layer, p.SendTime = sim.Data, layer, now
 	q.net.SendData(p, q.sink)
-	q.eng.After(q.Snd.IPG(), q.sendLoop)
+	q.eng.After(q.Snd.IPG(), q.sendFn)
 }
 
 func (q *QASource) stepLoop() {
@@ -139,12 +155,13 @@ func (q *QASource) stepLoop() {
 	if b := q.Snd.Step(now); b != nil {
 		q.onBackoff(now, b)
 	}
-	q.eng.After(q.Snd.StepInterval(), q.stepLoop)
+	q.eng.After(q.Snd.StepInterval(), q.stepFn)
 }
 
 func (q *QASource) recvData(p *sim.Packet) {
-	ack := &sim.Packet{FlowID: q.flowID, Kind: sim.Ack, Size: q.ackSize, AckSeq: p.Seq}
-	q.net.SendAck(ack, sim.ReceiverFunc(q.recvAck))
+	ack := q.eng.Pool().Get()
+	ack.FlowID, ack.Kind, ack.Size, ack.AckSeq = q.flowID, sim.Ack, q.ackSize, p.Seq
+	q.net.SendAck(ack, q.ackSink)
 }
 
 func (q *QASource) recvAck(p *sim.Packet) {

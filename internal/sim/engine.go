@@ -17,10 +17,17 @@ import (
 // through the engine's free list once they fire (or are skipped as dead),
 // so a Timer must never trust its *event pointer alone: the generation
 // counter ties a Timer to one particular scheduling of the event.
+//
+// An event carries either a plain callback (fn) or an argumented one
+// (fn1 + arg). The second form exists so hot paths can schedule with a
+// long-lived function value and a pointer argument instead of minting a
+// fresh closure per packet (see Engine.AtFunc).
 type event struct {
 	time float64
 	seq  uint64 // tie-breaker: preserves scheduling order at equal times
 	fn   func()
+	fn1  func(any)
+	arg  any
 	idx  int
 	gen  uint64 // bumped every time the event is recycled
 	dead bool
@@ -86,7 +93,14 @@ type Engine struct {
 	events eventHeap
 	nRun   uint64
 	free   []*event // recycled events; a simulation at steady state stops allocating
+	pool   PacketPool
 }
+
+// maxFreeEvents caps the event free list. A transient burst of events
+// (e.g. a sweep's warm-up) would otherwise pin its high-water mark of
+// dead event structs for the lifetime of the engine; beyond the cap,
+// recycled events are dropped for the GC to collect.
+const maxFreeEvents = 8192
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine { return &Engine{} }
@@ -97,9 +111,26 @@ func (e *Engine) Now() float64 { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.nRun }
 
+// Pool returns the engine-owned packet free list. Like the engine
+// itself it is single-threaded: all Get/Put calls must come from the
+// goroutine driving the engine.
+func (e *Engine) Pool() *PacketPool { return &e.pool }
+
 // At schedules fn at absolute virtual time t. Scheduling in the past
 // panics: it would silently corrupt causality.
 func (e *Engine) At(t float64, fn func()) Timer {
+	return e.schedule(t, fn, nil, nil)
+}
+
+// AtFunc schedules fn(arg) at absolute virtual time t. Unlike At, the
+// callback and its argument are stored separately on the recycled event,
+// so a call site that reuses a long-lived fn (a bound method stored at
+// construction, or a package-level func) schedules without allocating.
+func (e *Engine) AtFunc(t float64, fn func(arg any), arg any) Timer {
+	return e.schedule(t, nil, fn, arg)
+}
+
+func (e *Engine) schedule(t float64, fn func(), fn1 func(any), arg any) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %.9f before now %.9f", t, e.now))
 	}
@@ -112,9 +143,9 @@ func (e *Engine) At(t float64, fn func()) Timer {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.time, ev.seq, ev.fn, ev.dead = t, e.seq, fn, false
+		ev.time, ev.seq, ev.fn, ev.fn1, ev.arg, ev.dead = t, e.seq, fn, fn1, arg, false
 	} else {
-		ev = &event{time: t, seq: e.seq, fn: fn}
+		ev = &event{time: t, seq: e.seq, fn: fn, fn1: fn1, arg: arg}
 	}
 	heap.Push(&e.events, ev)
 	return Timer{ev: ev, gen: ev.gen}
@@ -125,8 +156,10 @@ func (e *Engine) At(t float64, fn func()) Timer {
 // unrelated future scheduling.
 func (e *Engine) release(ev *event) {
 	ev.gen++
-	ev.fn = nil
-	e.free = append(e.free, ev)
+	ev.fn, ev.fn1, ev.arg = nil, nil, nil
+	if len(e.free) < maxFreeEvents {
+		e.free = append(e.free, ev)
+	}
 }
 
 // After schedules fn after delay d (clamped to be non-negative).
@@ -135,6 +168,15 @@ func (e *Engine) After(d float64, fn func()) Timer {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
+}
+
+// AfterFunc schedules fn(arg) after delay d (clamped to be
+// non-negative); see AtFunc for why this exists alongside After.
+func (e *Engine) AfterFunc(d float64, fn func(arg any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtFunc(e.now+d, fn, arg)
 }
 
 // Step runs the next pending event. It reports false when no events remain.
@@ -147,19 +189,31 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.time
 		e.nRun++
-		fn := ev.fn
+		fn, fn1, arg := ev.fn, ev.fn1, ev.arg
 		e.release(ev) // safe before fn: generation bump detaches all Timers
-		fn()
+		if fn1 != nil {
+			fn1(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
 }
 
 // RunUntil executes events with time <= t, then advances the clock to t.
+// Dead (cancelled) events encountered at the head of the heap are
+// released even when they lie beyond t, so a burst of cancelled timers
+// ahead of the horizon does not linger across calls.
 func (e *Engine) RunUntil(t float64) {
 	for len(e.events) > 0 {
 		// Peek.
 		ev := e.events[0]
+		if ev.dead {
+			heap.Pop(&e.events)
+			e.release(ev)
+			continue
+		}
 		if ev.time > t {
 			break
 		}

@@ -159,6 +159,78 @@ func TestEngineEventFreeList(t *testing.T) {
 	}
 }
 
+func TestEngineAtFuncPassesArgument(t *testing.T) {
+	e := NewEngine()
+	type payload struct{ n int }
+	var got []*payload
+	collect := func(arg any) { p, _ := arg.(*payload); got = append(got, p) }
+	a, b := &payload{1}, &payload{2}
+	e.AtFunc(2, collect, b)
+	e.AtFunc(1, collect, a)
+	e.AfterFunc(-1, collect, nil) // clamps to now, like After
+	e.Run()
+	if len(got) != 3 || got[0] != nil || got[1] != a || got[2] != b {
+		t.Fatalf("AtFunc delivered %v, want [nil a b]", got)
+	}
+}
+
+// Scheduling through AtFunc with a long-lived callback and a pointer
+// argument must not allocate once the free list is primed — this is the
+// contract the link and network hot paths rely on.
+func TestAllocFreeAtFuncScheduling(t *testing.T) {
+	e := NewEngine()
+	nop := func(any) {}
+	e.AtFunc(0, nop, nil) // prime the free list
+	e.Run()
+	p := &Packet{}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.AfterFunc(0.001, nop, p)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("%.1f allocs per AtFunc schedule+step, want 0", allocs)
+	}
+}
+
+// A transient event burst must not pin its high-water mark of recycled
+// events forever: the free list is capped.
+func TestEngineFreeListCapped(t *testing.T) {
+	e := NewEngine()
+	n := maxFreeEvents + 1000
+	for i := 0; i < n; i++ {
+		e.At(1, func() {})
+	}
+	e.Run()
+	if len(e.free) > maxFreeEvents {
+		t.Fatalf("free list holds %d events after a %d-event burst, cap is %d",
+			len(e.free), n, maxFreeEvents)
+	}
+}
+
+// Cancelled events beyond the RunUntil horizon must be released during
+// the peek, not left to age in the heap across calls.
+func TestRunUntilReleasesDeadEventsBeyondHorizon(t *testing.T) {
+	e := NewEngine()
+	var tms []Timer
+	for i := 0; i < 100; i++ {
+		tms = append(tms, e.At(10, func() {}))
+	}
+	for _, tm := range tms {
+		tm.Cancel()
+	}
+	free := len(e.free)
+	e.RunUntil(1) // horizon well before the cancelled batch at t=10
+	if len(e.events) != 0 {
+		t.Fatalf("%d dead events still queued after RunUntil", len(e.events))
+	}
+	if len(e.free) != free+100 {
+		t.Fatalf("free list grew by %d, want 100", len(e.free)-free)
+	}
+	if e.Now() != 1 {
+		t.Fatalf("Now() = %v, want 1", e.Now())
+	}
+}
+
 func TestRunUntilStopsAndAdvancesClock(t *testing.T) {
 	e := NewEngine()
 	var ran []float64

@@ -8,7 +8,18 @@ type Link struct {
 	queue Queue
 	rate  float64 // bytes per second
 	delay float64 // propagation delay, seconds
-	busy  bool
+
+	// freeAt is when the current serialization finishes; the link is
+	// busy while Now() < freeAt. wake is the pending "link free" event,
+	// armed only when a packet is actually waiting, so an uncongested
+	// link costs one event per packet instead of two.
+	freeAt float64
+	wake   Timer
+
+	// deliverFn/txDoneFn are bound once at construction so the
+	// per-packet events schedule via AtFunc without minting closures.
+	deliverFn func(any)
+	txDoneFn  func(any)
 
 	// TxBytes counts bytes successfully transmitted.
 	TxBytes int64
@@ -25,7 +36,10 @@ func NewLink(eng *Engine, q Queue, rate, delay float64) *Link {
 	if delay < 0 {
 		panic("sim: link delay must be non-negative")
 	}
-	return &Link{eng: eng, queue: q, rate: rate, delay: delay}
+	l := &Link{eng: eng, queue: q, rate: rate, delay: delay}
+	l.deliverFn = l.deliver
+	l.txDoneFn = l.txDone
+	return l
 }
 
 // Rate returns the link bandwidth in bytes per second.
@@ -34,36 +48,60 @@ func (l *Link) Rate() float64 { return l.rate }
 // Delay returns the propagation delay in seconds.
 func (l *Link) Delay() float64 { return l.delay }
 
-// Offer enqueues p and starts transmission if the link is idle. The
-// packet is silently discarded if the queue drops it.
+// Offer enqueues p and starts transmission if the link is idle. A
+// packet the queue drops is released back to the engine's pool.
 func (l *Link) Offer(p *Packet) {
 	if !l.queue.Enqueue(p) {
+		l.eng.pool.Put(p)
 		return
 	}
-	if !l.busy {
+	if l.wake.Active() {
+		// A link-free event is already armed (and may be firing in this
+		// very instant): it owns the next dequeue. Transmitting here too
+		// would overlap serializations.
+		return
+	}
+	if l.eng.Now() >= l.freeAt {
 		l.transmitNext()
+	} else {
+		// Busy, and nothing will revisit the queue when serialization
+		// ends: arm the link-free event now.
+		l.wake = l.eng.AtFunc(l.freeAt, l.txDoneFn, nil)
 	}
 }
 
 func (l *Link) transmitNext() {
 	p := l.queue.Dequeue()
 	if p == nil {
-		l.busy = false
 		return
 	}
-	l.busy = true
 	txTime := float64(p.Size) / l.rate
 	l.TxBytes += int64(p.Size)
 	l.TxPackets++
-	// Delivery happens after serialization + propagation; the link is
-	// free to start the next packet as soon as serialization finishes.
-	l.eng.After(txTime, func() {
-		dst := p.Dst
-		l.eng.After(l.delay, func() {
-			if dst != nil {
-				dst.Recv(p)
-			}
-		})
-		l.transmitNext()
-	})
+	// The link is free to start the next packet as soon as serialization
+	// finishes; delivery lands after serialization + propagation. Both
+	// instants are known now, so the delivery event is scheduled directly
+	// instead of chaining a second event off the serialization one — no
+	// per-packet closures, and no second event at all when the queue is
+	// empty (the next Offer restarts the link).
+	l.freeAt = l.eng.Now() + txTime
+	if l.queue.Len() > 0 {
+		l.wake = l.eng.AtFunc(l.freeAt, l.txDoneFn, nil)
+	}
+	l.eng.AtFunc(l.freeAt+l.delay, l.deliverFn, p)
+}
+
+// txDone fires when serialization finishes: the link may start the next
+// queued packet.
+func (l *Link) txDone(any) { l.transmitNext() }
+
+// deliver hands the packet to its destination and releases it. The
+// receiver borrows the packet only for the duration of Recv (see
+// PacketPool).
+func (l *Link) deliver(arg any) {
+	p := arg.(*Packet)
+	if p.Dst != nil {
+		p.Dst.Recv(p)
+	}
+	l.eng.pool.Put(p)
 }

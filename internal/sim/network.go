@@ -12,6 +12,11 @@ type Dumbbell struct {
 
 	accessDelay  float64 // source -> bottleneck, per direction
 	reverseDelay float64 // sink -> source (full reverse path)
+
+	// offerFn/ackFn are bound once so the per-packet hops schedule via
+	// AtFunc without minting closures.
+	offerFn func(any)
+	ackFn   func(any)
 }
 
 // DumbbellConfig configures a dumbbell topology.
@@ -33,13 +38,16 @@ func NewDumbbell(eng *Engine, cfg DumbbellConfig) *Dumbbell {
 		}
 		q = NewDropTail(cfg.QueueBytes)
 	}
-	return &Dumbbell{
+	d := &Dumbbell{
 		Eng:          eng,
 		Q:            q,
 		Bneck:        NewLink(eng, q, cfg.Rate, cfg.Delay),
 		accessDelay:  cfg.AccessDelay,
 		reverseDelay: cfg.AccessDelay + cfg.Delay,
 	}
+	d.offerFn = d.offer
+	d.ackFn = d.deliverAck
+	return d
 }
 
 // BaseRTT returns the zero-queue round-trip propagation time.
@@ -48,15 +56,28 @@ func (d *Dumbbell) BaseRTT() float64 {
 }
 
 // SendData pushes a data packet from a source across the access link and
-// into the bottleneck; dst receives it if it is not dropped.
+// into the bottleneck; dst receives it if it is not dropped. The network
+// owns the packet from here on: it is released to the engine's pool on
+// drop or after dst.Recv returns.
 func (d *Dumbbell) SendData(p *Packet, dst Receiver) {
 	p.Dst = dst
-	d.Eng.After(d.accessDelay, func() { d.Bneck.Offer(p) })
+	d.Eng.AfterFunc(d.accessDelay, d.offerFn, p)
 }
 
+func (d *Dumbbell) offer(arg any) { d.Bneck.Offer(arg.(*Packet)) }
+
 // SendAck returns an acknowledgement to dst over the uncongested reverse
-// path.
+// path. Like SendData, the network owns (and eventually releases) the
+// packet once handed over.
 func (d *Dumbbell) SendAck(p *Packet, dst Receiver) {
 	p.Dst = dst
-	d.Eng.After(d.reverseDelay, func() { dst.Recv(p) })
+	d.Eng.AfterFunc(d.reverseDelay, d.ackFn, p)
+}
+
+func (d *Dumbbell) deliverAck(arg any) {
+	p := arg.(*Packet)
+	if p.Dst != nil {
+		p.Dst.Recv(p)
+	}
+	d.Eng.pool.Put(p)
 }

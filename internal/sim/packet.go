@@ -54,6 +54,10 @@ type Packet struct {
 
 	// Dst receives the packet when it exits the network.
 	Dst Receiver
+
+	// pooled marks a packet currently held by a PacketPool; Put uses it
+	// to panic on double-release.
+	pooled bool
 }
 
 // Receiver consumes packets delivered by the network.

@@ -1,0 +1,83 @@
+package sim
+
+// PacketPool is a single-threaded free list of Packets, owned by an
+// Engine (see Engine.Pool). Like ns-2's packet free list, it makes the
+// per-packet hot path allocation-free at steady state: every producer
+// Gets its packets here and the network Puts them back exactly once —
+// the queue/link on drop, the delivery path after the destination's
+// Recv returns.
+//
+// Ownership rules:
+//
+//   - A producer that Gets a packet owns it until it hands it to the
+//     network (Dumbbell.SendData / SendAck or Link.Offer).
+//   - If the bottleneck queue refuses the packet, the link Puts it.
+//   - On delivery the network calls Dst.Recv(p) and Puts p when Recv
+//     returns: receivers borrow the packet for the duration of the call
+//     and must copy anything they need afterwards.
+//
+// Put poisons the struct (negative sizes and sequence numbers, nil Dst)
+// so a use-after-free corrupts counters loudly instead of silently
+// reading plausible stale values, and a double Put panics.
+type PacketPool struct {
+	free []*Packet
+
+	// News counts packets allocated because the free list was empty;
+	// Gets and Puts count total traffic. At steady state Gets grows
+	// while News does not.
+	Gets, Puts, News uint64
+}
+
+// poison values written into released packets; chosen so arithmetic on
+// a stale reference (byte counters, serialization times) goes visibly
+// wrong rather than almost-right.
+const (
+	poisonSeq  = int64(-1) << 40
+	poisonSize = -1 << 20
+)
+
+// Get returns a zeroed packet, reusing a released one when available.
+// The Sack slice keeps its backing array (length 0) so ACK producers
+// append SACK blocks without reallocating.
+func (pp *PacketPool) Get() *Packet {
+	pp.Gets++
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		sack := p.Sack[:0]
+		*p = Packet{Sack: sack}
+		return p
+	}
+	pp.News++
+	return &Packet{}
+}
+
+// Put releases p back to the pool. Putting the same packet twice
+// without an intervening Get panics: it would hand one packet to two
+// owners. Put(nil) is a no-op.
+func (pp *PacketPool) Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	if p.pooled {
+		panic("sim: Packet double-Put (already in the pool)")
+	}
+	pp.Puts++
+	p.pooled = true
+	p.FlowID = -1
+	p.Seq = poisonSeq
+	p.Size = poisonSize
+	p.Layer = -1
+	p.SendTime = -1
+	p.AckSeq = poisonSeq
+	p.CumAck = poisonSeq
+	p.Sack = p.Sack[:0]
+	p.Echo = -1
+	p.Retransmit = false
+	p.Dst = nil
+	pp.free = append(pp.free, p)
+}
+
+// Free returns the current number of pooled packets.
+func (pp *PacketPool) Free() int { return len(pp.free) }

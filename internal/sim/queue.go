@@ -20,10 +20,13 @@ type Queue interface {
 // discipline the paper's ns-2 scenarios use at the bottleneck. Packets
 // live in a ring buffer: dequeuing advances the head index instead of
 // reslicing from the front, so long-lived queues reuse one backing array
-// instead of pinning consumed prefixes until the next realloc.
+// instead of pinning consumed prefixes until the next realloc. The ring
+// is always a power of two so wrap-around is a mask, not a divide — the
+// enqueue/dequeue pair sits on the per-packet hot path.
 type DropTail struct {
 	limit   int // bytes
 	ring    []*Packet
+	mask    int // len(ring)-1; ring length is always a power of two
 	head    int // index of the oldest packet
 	count   int
 	bytes   int
@@ -48,19 +51,21 @@ func (q *DropTail) Enqueue(p *Packet) bool {
 	if q.count == len(q.ring) {
 		q.grow()
 	}
-	q.ring[(q.head+q.count)%len(q.ring)] = p
+	q.ring[(q.head+q.count)&q.mask] = p
 	q.count++
 	q.bytes += p.Size
 	return true
 }
 
-// grow doubles the ring, unwrapping the occupied span to the front.
+// grow doubles the ring (always to a power of two), unwrapping the
+// occupied span to the front.
 func (q *DropTail) grow() {
 	next := make([]*Packet, max(8, 2*len(q.ring)))
 	for i := 0; i < q.count; i++ {
-		next[i] = q.ring[(q.head+i)%len(q.ring)]
+		next[i] = q.ring[(q.head+i)&q.mask]
 	}
 	q.ring = next
+	q.mask = len(next) - 1
 	q.head = 0
 }
 
@@ -71,7 +76,7 @@ func (q *DropTail) Dequeue() *Packet {
 	}
 	p := q.ring[q.head]
 	q.ring[q.head] = nil
-	q.head = (q.head + 1) % len(q.ring)
+	q.head = (q.head + 1) & q.mask
 	q.count--
 	q.bytes -= p.Size
 	return p

@@ -132,6 +132,29 @@ func TestDropTailFIFOAcrossWraparound(t *testing.T) {
 	}
 }
 
+// BenchmarkDropTailRing measures the raw enqueue/dequeue cycle — the
+// per-packet ring indexing on the link hot path (mask vs modulo).
+func BenchmarkDropTailRing(b *testing.B) {
+	q := NewDropTail(1 << 20)
+	pkts := make([]*Packet, 64)
+	for i := range pkts {
+		pkts[i] = mkPkt(int64(i), 512)
+	}
+	// Warm the ring to steady-state capacity.
+	for _, p := range pkts {
+		q.Enqueue(p)
+	}
+	for q.Dequeue() != nil {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkts[i&63]
+		q.Enqueue(p)
+		q.Dequeue()
+	}
+}
+
 func TestREDDropsUnderSustainedLoad(t *testing.T) {
 	q := NewRED(REDConfig{LimitBytes: 64 * 512, MeanPktSize: 512, MinThresh: 5, MaxThresh: 15, Seed: 42})
 	drops := 0

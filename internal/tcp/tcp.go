@@ -10,7 +10,7 @@ package tcp
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"qav/internal/sim"
 )
@@ -60,6 +60,7 @@ type Source struct {
 	gotRTT            bool
 	rtoBackoff        float64
 	rtoTimer          sim.Timer
+	rtoFn             func() // onRTO as a long-lived value: no closure per arm
 
 	sink *sink
 
@@ -88,7 +89,9 @@ func NewSource(eng *sim.Engine, net *sim.Dumbbell, cfg Config) *Source {
 		rto:        3 * cfg.InitialRTT,
 		rtoBackoff: 1,
 	}
+	s.rtoFn = s.onRTO
 	s.sink = &sink{src: s, received: make(map[int64]bool)}
+	s.sink.ackSink = sim.ReceiverFunc(s.onAck)
 	eng.At(cfg.Start, s.trySend)
 	return s
 }
@@ -143,14 +146,9 @@ func (s *Source) nextLost() (int64, bool) {
 }
 
 func (s *Source) transmit(seq int64, retx bool) {
-	p := &sim.Packet{
-		FlowID:     s.cfg.FlowID,
-		Seq:        seq,
-		Size:       s.cfg.PacketSize,
-		Kind:       sim.Data,
-		SendTime:   s.eng.Now(),
-		Retransmit: retx,
-	}
+	p := s.eng.Pool().Get()
+	p.FlowID, p.Seq, p.Size = s.cfg.FlowID, seq, s.cfg.PacketSize
+	p.Kind, p.SendTime, p.Retransmit = sim.Data, s.eng.Now(), retx
 	s.SentPkts++
 	if retx {
 		s.RetransPkts++
@@ -164,7 +162,7 @@ func (s *Source) armRTO() {
 	if s.pipe() == 0 && len(s.lost) == 0 {
 		return
 	}
-	s.rtoTimer = s.eng.After(s.rto*s.rtoBackoff, s.onRTO)
+	s.rtoTimer = s.eng.After(s.rto*s.rtoBackoff, s.rtoFn)
 }
 
 func (s *Source) onRTO() {
@@ -295,9 +293,12 @@ type sink struct {
 	src      *Source
 	received map[int64]bool
 	cumack   int64
+	ackSink  sim.Receiver // long-lived: no closure per ACK
+	seqs     []int64      // scratch for sackBlocks
 }
 
-// Recv implements sim.Receiver.
+// Recv implements sim.Receiver. The ACK reuses the pooled packet's Sack
+// backing array, so steady-state acknowledgement costs no allocation.
 func (k *sink) Recv(p *sim.Packet) {
 	if p.Kind != sim.Data {
 		return
@@ -307,29 +308,26 @@ func (k *sink) Recv(p *sim.Packet) {
 		delete(k.received, k.cumack)
 		k.cumack++
 	}
-	ack := &sim.Packet{
-		FlowID: p.FlowID,
-		Kind:   sim.Ack,
-		Size:   k.src.cfg.AckSize,
-		CumAck: k.cumack,
-		AckSeq: p.Seq,
-		Echo:   p.SendTime,
-		Sack:   k.sackBlocks(),
-	}
-	k.src.net.SendAck(ack, sim.ReceiverFunc(func(a *sim.Packet) { k.src.onAck(a) }))
+	ack := k.src.eng.Pool().Get()
+	ack.FlowID, ack.Kind, ack.Size = p.FlowID, sim.Ack, k.src.cfg.AckSize
+	ack.CumAck, ack.AckSeq, ack.Echo = k.cumack, p.Seq, p.SendTime
+	ack.Sack = k.sackBlocks(ack.Sack[:0])
+	k.src.net.SendAck(ack, k.ackSink)
 }
 
-// sackBlocks summarizes out-of-order data above cumack as ranges.
-func (k *sink) sackBlocks() []sim.SackBlock {
+// sackBlocks summarizes out-of-order data above cumack as ranges,
+// appending into blocks (typically the ACK packet's recycled Sack
+// backing array).
+func (k *sink) sackBlocks(blocks []sim.SackBlock) []sim.SackBlock {
 	if len(k.received) == 0 {
-		return nil
+		return blocks[:0]
 	}
-	seqs := make([]int64, 0, len(k.received))
+	seqs := k.seqs[:0]
 	for s := range k.received {
 		seqs = append(seqs, s)
 	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	var blocks []sim.SackBlock
+	k.seqs = seqs
+	slices.Sort(seqs)
 	start, prev := seqs[0], seqs[0]
 	for _, s := range seqs[1:] {
 		if s == prev+1 {
@@ -340,9 +338,12 @@ func (k *sink) sackBlocks() []sim.SackBlock {
 		start, prev = s, s
 	}
 	blocks = append(blocks, sim.SackBlock{Start: start, End: prev + 1})
-	// Most recent (highest) blocks are the most useful; cap at 3.
+	// Most recent (highest) blocks are the most useful; cap at 3. Copy
+	// down instead of reslicing so the backing array's head is kept for
+	// reuse by the packet pool.
 	if len(blocks) > 3 {
-		blocks = blocks[len(blocks)-3:]
+		n := copy(blocks, blocks[len(blocks)-3:])
+		blocks = blocks[:n]
 	}
 	return blocks
 }

@@ -105,7 +105,7 @@ func TestSackBlocksWellFormed(t *testing.T) {
 	k := &sink{src: &Source{cfg: Config{AckSize: 40}}, received: map[int64]bool{
 		5: true, 6: true, 9: true, 12: true, 13: true,
 	}}
-	blocks := k.sackBlocks()
+	blocks := k.sackBlocks(nil)
 	if len(blocks) != 3 {
 		t.Fatalf("got %d blocks, want 3: %+v", len(blocks), blocks)
 	}
@@ -127,7 +127,7 @@ func TestSackBlocksCapAtThree(t *testing.T) {
 	k := &sink{src: &Source{cfg: Config{AckSize: 40}}, received: map[int64]bool{
 		1: true, 3: true, 5: true, 7: true, 9: true,
 	}}
-	blocks := k.sackBlocks()
+	blocks := k.sackBlocks(nil)
 	if len(blocks) != 3 {
 		t.Fatalf("got %d blocks, want cap of 3", len(blocks))
 	}

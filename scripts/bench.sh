@@ -1,0 +1,8 @@
+#!/bin/sh
+# Runs the headline simulation benchmarks and writes BENCH_PR2.json
+# (ns/op, B/op, allocs/op per benchmark, plus deltas against the
+# recorded pre-pooling baseline). Pass -quick to skip the long
+# TablesSweep runs; any arguments are forwarded to qabench.
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/qabench -out BENCH_PR2.json "$@"
