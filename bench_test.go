@@ -14,6 +14,7 @@ import (
 
 	"qav/internal/core"
 	"qav/internal/figures"
+	"qav/internal/metrics"
 	"qav/internal/rap"
 	"qav/internal/scenario"
 	"qav/internal/sim"
@@ -97,7 +98,7 @@ func BenchmarkFigure13(b *testing.B) {
 // over drop events for Kmax in {2,3,4,5,8} on tests T1 and T2.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cells, err := figures.TablesSweep(nil, figures.DefaultScale, 0)
+		cells, _, err := figures.TablesSweep(nil, figures.DefaultScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -113,7 +114,7 @@ func BenchmarkTable1(b *testing.B) {
 // caused by poor inter-layer buffer distribution.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cells, err := figures.TablesSweep(nil, figures.DefaultScale, 0)
+		cells, _, err := figures.TablesSweep(nil, figures.DefaultScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,7 +142,7 @@ func BenchmarkTablesSweep(b *testing.B) {
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := figures.TablesSweep(nil, figures.DefaultScale, bc.workers); err != nil {
+				if _, _, err := figures.TablesSweep(nil, figures.DefaultScale, bc.workers); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -157,7 +158,7 @@ func BenchmarkAblationDropTailVsRED(b *testing.B) {
 	names := []string{"droptail", "red"}
 	cfgs := make([]scenario.Config, len(names))
 	for i, red := range []bool{false, true} {
-		cfg := scenario.T1(2, figures.DefaultScale)
+		cfg := scenario.MustPreset("T1", scenario.WithKmax(2), scenario.WithScale(figures.DefaultScale))
 		cfg.Duration = 60
 		cfg.UseRED = red
 		cfgs[i] = cfg
@@ -183,7 +184,7 @@ func BenchmarkAblationAllocation(b *testing.B) {
 	allocs := []core.Allocation{core.AllocOptimal, core.AllocEqual, core.AllocBase}
 	cfgs := make([]scenario.Config, len(allocs))
 	for i, alloc := range allocs {
-		cfg := scenario.T2(3, figures.DefaultScale)
+		cfg := scenario.MustPreset("T2", scenario.WithKmax(3), scenario.WithScale(figures.DefaultScale))
 		cfg.QA.Alloc = alloc
 		cfgs[i] = cfg
 	}
@@ -245,12 +246,18 @@ func BenchmarkDrainPlan(b *testing.B) {
 
 // BenchmarkSimulator measures raw event throughput of the discrete-event
 // engine with a saturated link, packets drawn from the engine's pool the
-// way real sources do.
+// way real sources do. The engine and link run fully instrumented: this
+// is the number the CI alloc-smoke step holds to a 0 steady-state
+// allocs/op, ≤5% ns/op budget against BENCH_PR2.json, so metrics must
+// stay free on the per-packet path.
 func BenchmarkSimulator(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		eng := sim.NewEngine()
 		q := sim.NewDropTail(1 << 16)
 		l := sim.NewLink(eng, q, 1e6, 0.001)
+		reg := metrics.NewRegistry()
+		eng.Instrument(reg)
+		l.Instrument(reg)
 		sink := sim.ReceiverFunc(func(p *sim.Packet) {})
 		var feed func()
 		n := 0
@@ -271,10 +278,13 @@ func BenchmarkSimulator(b *testing.B) {
 
 // TestAllocFreeSteadyStateCrossTraffic is the tentpole's end-to-end
 // invariant: a dumbbell with a DropTail bottleneck carrying RAP and
-// Sack-TCP cross traffic runs allocation-free at steady state. Rates are
-// capped below the bottleneck so the measured window is loss-free —
-// loss handling (Backoff records, scoreboard growth) is allowed to
-// allocate; the per-packet send/enqueue/deliver/ack cycle is not.
+// Sack-TCP cross traffic runs allocation-free at steady state — with
+// every layer fully instrumented (engine, link + per-flow delay
+// histograms, RAP, TCP), so each record site is covered by the zero
+// budget. Rates are capped below the bottleneck so the measured window
+// is loss-free — loss handling (Backoff records, scoreboard growth) is
+// allowed to allocate; the per-packet send/enqueue/deliver/ack cycle is
+// not.
 func TestAllocFreeSteadyStateCrossTraffic(t *testing.T) {
 	eng := sim.NewEngine()
 	net := sim.NewDumbbell(eng, sim.DumbbellConfig{
@@ -286,6 +296,11 @@ func TestAllocFreeSteadyStateCrossTraffic(t *testing.T) {
 	tcpSrc := tcp.NewSource(eng, net, tcp.Config{
 		FlowID: 2, PacketSize: 512, MaxCwnd: 8, InitialRTT: 0.04,
 	})
+	reg := metrics.NewRegistry()
+	net.Instrument(reg)
+	net.Bneck.InstrumentFlows(reg, 3)
+	rapSrc.Snd.Instrument(reg, "rap", rap.NewInstruments(reg, "rap"))
+	tcpSrc.Instrument(reg, "tcp", tcp.NewInstruments(reg, "tcp"))
 	// Warm up past slow start and the AIMD ramp so maps, rings, the
 	// event free list, and the packet pool all reach their high-water
 	// marks.
@@ -303,6 +318,17 @@ func TestAllocFreeSteadyStateCrossTraffic(t *testing.T) {
 	if rapSrc.Snd.Acked == 0 || tcpSrc.AckedPkts == 0 {
 		t.Fatal("no traffic flowed; test is vacuous")
 	}
+	// Every instrumented record site must actually have fired during the
+	// measured window — otherwise the zero-alloc budget is vacuous.
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"queue.delay", "queue.delay.f1", "queue.delay.f2",
+		"rap.srtt", "rap.ackgap", "tcp.srtt",
+	} {
+		if snap.Histograms[name].Count == 0 {
+			t.Errorf("histogram %q recorded nothing; the alloc budget did not cover its record site", name)
+		}
+	}
 }
 
 func fname(format string, args ...any) string {
@@ -318,7 +344,7 @@ func BenchmarkAblationFineGrainRAP(b *testing.B) {
 	names := []string{"coarse", "finegrain"}
 	cfgs := make([]scenario.Config, len(names))
 	for i, fg := range []bool{false, true} {
-		cfg := scenario.T1(2, figures.DefaultScale)
+		cfg := scenario.MustPreset("T1", scenario.WithKmax(2), scenario.WithScale(figures.DefaultScale))
 		cfg.Duration = 60
 		cfg.FineGrainRAP = fg
 		cfgs[i] = cfg

@@ -7,11 +7,18 @@
 //	qabench                      # run everything, print JSON to stdout
 //	qabench -out BENCH_PR2.json  # write the report to a file
 //	qabench -quick               # skip the ~2-minute TablesSweep runs
+//	qabench -check BENCH_PR2.json   # fail on alloc/ns regressions vs a recorded report
+//	qabench -report runs.json    # also write an instrumented reference-run report
 //
 // Each entry carries the recorded pre-change baseline (the allocating
 // hot path before packet pooling and closure-free scheduling) alongside
 // the measured numbers, plus the relative deltas, so a single run
 // documents the regression or improvement without a second checkout.
+//
+// -check compares the freshly measured numbers against the "current"
+// values recorded in an earlier qabench report and exits non-zero if any
+// benchmark allocates more than recorded or runs more than 5% slower —
+// the instrumentation budget CI enforces for the metrics layer.
 package main
 
 import (
@@ -22,6 +29,8 @@ import (
 	"testing"
 
 	"qav/internal/figures"
+	"qav/internal/metrics"
+	"qav/internal/scenario"
 	"qav/internal/sim"
 )
 
@@ -60,6 +69,8 @@ var baselines = map[string]measurement{
 func main() {
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
 	quick := flag.Bool("quick", false, "skip the long TablesSweep benchmarks")
+	check := flag.String("check", "", "compare against a recorded qabench report; exit 1 on alloc or >5% ns/op regressions")
+	runReport := flag.String("report", "", "write an instrumented reference-run JSON report (Figure 11 scenario) to this file")
 	flag.Parse()
 
 	benches := []struct {
@@ -76,23 +87,29 @@ func main() {
 		}},
 		{"TablesSweep/sequential", true, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := figures.TablesSweep(nil, figures.DefaultScale, 1); err != nil {
+				if _, _, err := figures.TablesSweep(nil, figures.DefaultScale, 1); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
 		{"TablesSweep/parallel", true, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := figures.TablesSweep(nil, figures.DefaultScale, 0); err != nil {
+				if _, _, err := figures.TablesSweep(nil, figures.DefaultScale, 0); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
 		{"Simulator", false, func(b *testing.B) {
+			// Instrumented: the engine and link publish into a live
+			// registry and the queueing-delay histogram records every
+			// dequeue, so this measures the per-packet metrics overhead.
 			for i := 0; i < b.N; i++ {
 				eng := sim.NewEngine()
+				reg := metrics.NewRegistry()
 				q := sim.NewDropTail(1 << 16)
 				l := sim.NewLink(eng, q, 1e6, 0.001)
+				eng.Instrument(reg)
+				l.Instrument(reg)
 				sink := sim.ReceiverFunc(func(p *sim.Packet) {})
 				var feed func()
 				n := 0
@@ -149,11 +166,102 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "qabench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "qabench:", err)
-		os.Exit(1)
+
+	if *runReport != "" {
+		if err := writeRunReport(*runReport); err != nil {
+			fmt.Fprintln(os.Stderr, "qabench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *runReport)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+
+	if *check != "" {
+		if err := checkAgainst(*check, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "qabench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "check against %s passed\n", *check)
+	}
+}
+
+// budget for -check: measured ns/op may exceed the recorded report by
+// at most 5%, and allocs/op by at most 5% plus a small constant
+// (construction of a metrics registry and its histograms per run, which
+// the instrumented benchmarks pay once per op). Steady-state
+// instrumentation cost is asserted to be exactly zero allocations by
+// the TestAllocFree* tests; the slack here only absorbs construction
+// and timer noise while still catching any per-packet allocation,
+// which would show up thousands of times per op.
+const (
+	checkTolerancePct  = 5.0
+	checkAllocSlackOps = 64
+)
+
+// checkAgainst compares the fresh measurements in rep against the
+// "current" values of a previously recorded qabench report and returns
+// an error describing every benchmark over budget.
+func checkAgainst(path string, rep report) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var recorded report
+	if err := json.Unmarshal(data, &recorded); err != nil {
+		return fmt.Errorf("parse %s: %v", path, err)
+	}
+	byName := make(map[string]measurement, len(recorded.Benchmarks))
+	for _, e := range recorded.Benchmarks {
+		byName[e.Name] = e.Current
+	}
+	var failures []string
+	compared := 0
+	for _, e := range rep.Benchmarks {
+		rec, ok := byName[e.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		if pct := 100 * (float64(e.Current.NsPerOp) - float64(rec.NsPerOp)) / float64(rec.NsPerOp); pct > checkTolerancePct {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %d vs recorded %d (+%.1f%% > +%.1f%%)",
+				e.Name, e.Current.NsPerOp, rec.NsPerOp, pct, checkTolerancePct))
+		}
+		if limit := int64(float64(rec.AllocsPerOp)*(1+checkTolerancePct/100)) + checkAllocSlackOps; e.Current.AllocsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %d vs recorded %d (limit %d)",
+				e.Name, e.Current.AllocsPerOp, rec.AllocsPerOp, limit))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmark in %s matches a measured one", path)
+	}
+	if len(failures) > 0 {
+		msg := "regressions vs " + path + ":"
+		for _, f := range failures {
+			msg += "\n  " + f
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}
+
+// writeRunReport runs the instrumented Figure 11 scenario once and
+// writes its structured run report (config, final counters, histogram
+// quantiles) — the machine-diffable artifact scripts/bench.sh archives.
+func writeRunReport(path string) error {
+	res, err := figures.Figure11(2, figures.DefaultScale)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return scenario.WriteReports(f, res.Reports)
 }

@@ -14,10 +14,16 @@
 //	qafig -fig 11 -scale 1  # raw 800 Kb/s parameterization
 //	qafig -tables -parallel 4   # sweep on 4 workers (0 = all cores)
 //	qafig -tables -cpuprofile cpu.pprof -memprofile mem.pprof
+//	qafig -fig 11 -report runs.json   # plus a machine-diffable run report
 //
 // Sweeps (-tables, -fig 12, -all) run their independent simulations on a
 // worker pool; -parallel bounds the workers (default: one per CPU). The
 // output is byte-identical to a sequential run.
+//
+// -report FILE writes one structured JSON run report per underlying
+// simulation (effective config, final metric counters, histogram
+// quantiles); "-" writes to stdout. Every run has its own metrics
+// registry, so the report does not depend on -parallel.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"runtime/pprof"
 
 	"qav/internal/figures"
+	"qav/internal/scenario"
 )
 
 func main() {
@@ -39,17 +46,18 @@ func main() {
 	kmax := flag.Int("kmax", 2, "smoothing factor for -fig 11")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU)")
 	out := flag.String("out", "", "write output to file instead of stdout")
+	report := flag.String("report", "", `write a JSON run report to this file ("-" = stdout)`)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*fig, *kmax, *scale, *parallel, *tables, *all, *out, *cpuprofile, *memprofile); err != nil {
+	if err := run(*fig, *kmax, *scale, *parallel, *tables, *all, *out, *report, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "qafig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, kmax int, scale float64, parallel int, tables, all bool, out, cpuprofile, memprofile string) error {
+func run(fig, kmax int, scale float64, parallel int, tables, all bool, out, report, cpuprofile, memprofile string) error {
 	w := io.Writer(os.Stdout)
 	if out != "" {
 		f, err := os.Create(out)
@@ -84,24 +92,48 @@ func run(fig, kmax int, scale float64, parallel int, tables, all bool, out, cpup
 
 	switch {
 	case all:
-		return runAll(w, scale, parallel)
+		return runAll(w, scale, parallel, report)
 	case tables:
-		cells, err := figures.TablesSweep(nil, scale, parallel)
+		cells, reps, err := figures.TablesSweep(nil, scale, parallel)
 		if err != nil {
 			return err
 		}
-		return figures.RenderTables(w, cells)
+		if err := figures.RenderTables(w, cells); err != nil {
+			return err
+		}
+		return writeReport(report, reps)
 	case fig != 0:
 		res, err := runFigure(fig, kmax, scale, parallel)
 		if err != nil {
 			return err
 		}
-		return res.Render(w)
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		return writeReport(report, res.Reports)
 	default:
 		flag.Usage()
 		os.Exit(2)
 		return nil
 	}
+}
+
+// writeReport writes reps as a JSON report to path ("-" = stdout); a
+// no-op when path is empty.
+func writeReport(path string, reps []scenario.RunReport) error {
+	if path == "" {
+		return nil
+	}
+	w := io.Writer(os.Stdout)
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return scenario.WriteReports(w, reps)
 }
 
 func runFigure(fig, kmax int, scale float64, parallel int) (*figures.Result, error) {
@@ -121,21 +153,27 @@ func runFigure(fig, kmax int, scale float64, parallel int) (*figures.Result, err
 	}
 }
 
-func runAll(w io.Writer, scale float64, parallel int) error {
+func runAll(w io.Writer, scale float64, parallel int, report string) error {
+	var reps []scenario.RunReport
 	for _, fig := range []int{1, 2, 11, 12, 13} {
 		res, err := runFigure(fig, 2, scale, parallel)
 		if err != nil {
 			return err
 		}
+		reps = append(reps, res.Reports...)
 		fmt.Fprintf(w, "## %s\n", res.Name)
 		for _, f := range res.Summary {
 			fmt.Fprintf(w, "# %-28s %12.3f   %s\n", f.Key, f.Value, f.Note)
 		}
 		fmt.Fprintln(w)
 	}
-	cells, err := figures.TablesSweep(nil, scale, parallel)
+	cells, tabReps, err := figures.TablesSweep(nil, scale, parallel)
 	if err != nil {
 		return err
 	}
-	return figures.RenderTables(w, cells)
+	reps = append(reps, tabReps...)
+	if err := figures.RenderTables(w, cells); err != nil {
+		return err
+	}
+	return writeReport(report, reps)
 }

@@ -12,8 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"time"
 
 	"qav/internal/core"
@@ -29,6 +31,7 @@ func main() {
 	pkt := flag.Int("pkt", 512, "packet size, bytes")
 	maxRate := flag.Float64("max-rate", 0, "cap on transmission rate, bytes/s (0 = none)")
 	once := flag.Bool("once", false, "serve a single stream then exit")
+	metricsAddr := flag.String("metrics", "", "HTTP address serving the current stream's metrics as JSON (e.g. 127.0.0.1:9090; empty = disabled)")
 	flag.Parse()
 
 	la, err := net.ResolveUDPAddr("udp", *listen)
@@ -47,6 +50,32 @@ func main() {
 	fmt.Printf("qaserver: listening on %s (C=%.0f B/s, Kmax=%d, %d layers)\n",
 		conn.LocalAddr(), *c, *kmax, *layers)
 
+	// The current stream's server, for the metrics endpoint. A new
+	// *netio.Server is created per stream, so the handler re-reads it.
+	var (
+		curMu  sync.Mutex
+		curSrv *netio.Server
+	)
+	if *metricsAddr != "" {
+		go func() {
+			h := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+				curMu.Lock()
+				srv := curSrv
+				curMu.Unlock()
+				if srv == nil {
+					http.Error(w, "no stream yet", http.StatusServiceUnavailable)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				srv.WriteMetricsJSON(w)
+			})
+			if err := http.ListenAndServe(*metricsAddr, h); err != nil {
+				fmt.Fprintln(os.Stderr, "qaserver: metrics endpoint:", err)
+			}
+		}()
+		fmt.Printf("qaserver: metrics at http://%s/\n", *metricsAddr)
+	}
+
 	for {
 		srv, err := netio.NewServer(conn, netio.ServerConfig{
 			QA: core.Params{C: *c, Kmax: *kmax, MaxLayers: *layers, StartupSec: 0.5},
@@ -59,6 +88,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		curMu.Lock()
+		curSrv = srv
+		curMu.Unlock()
 		start := time.Now()
 		err = srv.Serve(ctx)
 		st := srv.Stats()

@@ -9,11 +9,17 @@
 // independent runs execute concurrently on a worker pool (-parallel
 // bounds the workers, 0 = one per CPU) and are reported in order, with
 // results identical to running them one at a time.
+//
+// -report FILE writes a structured JSON run report (effective config,
+// final metric counters, histogram quantiles) for every run; "-" writes
+// it to stdout. Each run gets its own metrics registry, so the report is
+// byte-identical for any -parallel setting.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -21,6 +27,7 @@ import (
 	"strings"
 
 	"qav/internal/core"
+	"qav/internal/metrics"
 	"qav/internal/scenario"
 )
 
@@ -42,6 +49,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU)")
 	tsv := flag.Bool("tsv", false, "dump full time series as TSV")
 	events := flag.Bool("events", false, "dump the controller event log")
+	reportPath := flag.String("report", "", `write a JSON run report to this file ("-" = stdout)`)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -92,13 +100,21 @@ func main() {
 				Kmax:      kmax,
 				MaxLayers: *maxLayers,
 			},
-			Duration:       *dur,
-			SampleInterval: 0.1,
+			Duration: *dur,
 		}
 		if *cbrFrac > 0 {
 			cfg.CBRRate = *cbrFrac * *bw
 			cfg.CBRStart = *cbrStart
 			cfg.CBRStop = *cbrStop
+		}
+		// Normalize here (Run would do it too) so flag mistakes surface
+		// before any simulation starts, with the effective defaults filled
+		// in for the report.
+		if err := cfg.Normalize(); err != nil {
+			fatal(err)
+		}
+		if *reportPath != "" {
+			cfg.Metrics = metrics.NewRegistry()
 		}
 		cfgs[i] = cfg
 	}
@@ -132,6 +148,29 @@ func main() {
 			}
 		}
 	}
+
+	if *reportPath != "" {
+		reps := make([]scenario.RunReport, len(results))
+		for i, res := range results {
+			reps[i] = res.Report()
+		}
+		if err := writeReports(*reportPath, reps); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeReports(path string, reps []scenario.RunReport) error {
+	w := io.Writer(os.Stdout)
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return scenario.WriteReports(w, reps)
 }
 
 func parseKmaxes(list string) ([]int, error) {

@@ -30,7 +30,8 @@ func main() {
 
 	// A low-fi strip chart of the layer count over time.
 	fmt.Println("\n  layers over time (each column = 1s, height = active layers):")
-	maxL := int(layers.Max())
+	maxLayers, _ := layers.Max()
+	maxL := int(maxLayers)
 	for row := maxL; row >= 1; row-- {
 		var b strings.Builder
 		fmt.Fprintf(&b, "  %2d |", row)

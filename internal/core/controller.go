@@ -53,6 +53,10 @@ type Controller struct {
 	// Events is the append-only decision log.
 	Events []Event
 
+	// ins, when set via Instrument, receives decision events as counter
+	// increments. Nil on uninstrumented controllers.
+	ins *Instruments
+
 	// Cumulative quality/playback statistics.
 	StallSec     float64
 	stallBegin   float64
@@ -426,4 +430,7 @@ func (c *Controller) safeSlope(s float64) float64 {
 	return s
 }
 
-func (c *Controller) event(e Event) { c.Events = append(c.Events, e) }
+func (c *Controller) event(e Event) {
+	c.Events = append(c.Events, e)
+	c.record(e)
+}

@@ -1,0 +1,77 @@
+package core
+
+import "qav/internal/metrics"
+
+// Instruments are the metric handles the quality adaptation controller
+// records through. Record sites live in the controller's event sink and
+// are nil-guarded, so an uninstrumented controller pays one branch per
+// decision event (not per packet).
+type Instruments struct {
+	// Adds counts layers added; Drops counts layers dropped (all causes).
+	Adds  *metrics.Counter
+	Drops *metrics.Counter
+	// CriticalDrops counts drops forced by critical situations (§2.2's
+	// persistent drain-plan infeasibility), a subset of Drops.
+	CriticalDrops *metrics.Counter
+	// PoorDistDrops counts drops where total buffering would have covered
+	// the recovery but its distribution did not (Table 2's metric).
+	PoorDistDrops *metrics.Counter
+	// Backoffs counts congestion backoffs reported to the controller.
+	Backoffs *metrics.Counter
+	// Stalls counts base-layer underflow playback pauses.
+	Stalls *metrics.Counter
+}
+
+// NewInstruments registers controller instruments on reg under prefix
+// (e.g. prefix "qa" yields "qa.adds", ...). Controllers sharing a
+// prefix share aggregated instruments.
+func NewInstruments(reg *metrics.Registry, prefix string) *Instruments {
+	return &Instruments{
+		Adds:          reg.Counter(prefix + ".adds"),
+		Drops:         reg.Counter(prefix + ".drops"),
+		CriticalDrops: reg.Counter(prefix + ".drops.critical"),
+		PoorDistDrops: reg.Counter(prefix + ".drops.poordist"),
+		Backoffs:      reg.Counter(prefix + ".backoffs"),
+		Stalls:        reg.Counter(prefix + ".stalls"),
+	}
+}
+
+// Instrument attaches ins and publishes the controller's quality state
+// on reg under the same prefix as snapshot-time Func metrics. Call
+// before the simulation starts.
+func (c *Controller) Instrument(reg *metrics.Registry, prefix string, ins *Instruments) {
+	c.ins = ins
+	reg.GaugeFunc(prefix+".layers", func() float64 { return float64(c.na) })
+	reg.GaugeFunc(prefix+".buftotal", func() float64 { return c.TotalBuf() })
+	reg.GaugeFunc(prefix+".played.sec", func() float64 { return c.PlayedSec })
+	reg.GaugeFunc(prefix+".stalled.sec", func() float64 { return c.StallSec })
+	reg.GaugeFunc(prefix+".layers.mean", func() float64 {
+		if c.PlayedSec <= 0 {
+			return 0
+		}
+		return c.LayerSeconds / c.PlayedSec
+	})
+}
+
+// record forwards a decision event to the attached instruments, if any.
+func (c *Controller) record(e Event) {
+	if c.ins == nil {
+		return
+	}
+	switch e.Kind {
+	case EvAddLayer:
+		c.ins.Adds.Inc()
+	case EvDropLayer:
+		c.ins.Drops.Inc()
+		if e.Critical {
+			c.ins.CriticalDrops.Inc()
+		}
+		if e.PoorDist {
+			c.ins.PoorDistDrops.Inc()
+		}
+	case EvBackoff:
+		c.ins.Backoffs.Inc()
+	case EvStallStart:
+		c.ins.Stalls.Inc()
+	}
+}

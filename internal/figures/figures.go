@@ -15,6 +15,7 @@ import (
 	"io"
 	"sort"
 
+	"qav/internal/metrics"
 	"qav/internal/scenario"
 	"qav/internal/trace"
 )
@@ -25,11 +26,23 @@ const DefaultScale = 8.0
 
 // Result is one regenerated figure: its time series plus a summary of
 // scalar facts a test or reader can check against the paper.
+//
+// Every underlying simulation runs with its own metrics registry, so
+// Reports carries one machine-diffable run report per simulation (the
+// qafig -report artifact). Instrumentation is observation-only: the
+// rendered series and facts are byte-identical with or without it.
 type Result struct {
 	Name    string
 	Series  *trace.Set
 	Summary []Fact
-	Run     *scenario.Result // last underlying run (nil for tables)
+	Run     *scenario.Result     // last underlying run (nil for tables)
+	Reports []scenario.RunReport // one per underlying simulation
+}
+
+// instrumented attaches a fresh per-run registry to cfg and returns it.
+func instrumented(cfg scenario.Config) scenario.Config {
+	cfg.Metrics = metrics.NewRegistry()
+	return cfg
 }
 
 // Fact is one scalar finding with the paper's corresponding claim.
@@ -70,12 +83,13 @@ func (r *Result) Render(w io.Writer) error {
 // Figure1 regenerates the RAP sawtooth trace: one RAP flow alone on a
 // small bottleneck, transmission rate vs time against the link bandwidth.
 func Figure1() (*Result, error) {
-	cfg := scenario.SingleRAP()
+	cfg := instrumented(scenario.MustPreset("SingleRAP"))
 	res, err := scenario.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{Name: "Figure 1: transmission rate of a single RAP flow", Run: res}
+	out.Reports = append(out.Reports, res.Report())
 	out.Series = trace.NewSet()
 	rate := res.Series.Get("rap0.rate")
 	dst := out.Series.Series("rap.rate")
@@ -94,17 +108,20 @@ func Figure1() (*Result, error) {
 // single QA flow whose receiver buffers absorb backoffs while layers
 // keep playing.
 func Figure2() (*Result, error) {
-	cfg := scenario.SingleQA(2)
+	cfg := instrumented(scenario.MustPreset("SingleQA", scenario.WithKmax(2)))
 	res, err := scenario.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{Name: "Figure 2: layered encoding with receiver buffering", Run: res}
+	out.Reports = append(out.Reports, res.Report())
 	out.Series = res.Series
-	out.fact("max_layers", res.Series.Get("qa.layers").Max(), "layers reached on a 12 KB/s link with C=3 KB/s")
+	maxLayers, _ := res.Series.Get("qa.layers").Max()
+	out.fact("max_layers", maxLayers, "layers reached on a 12 KB/s link with C=3 KB/s")
 	out.fact("backoffs", float64(res.Stats.Backoffs), "congestion backoffs absorbed")
 	out.fact("stall_sec", res.StallSec, "playback stalls (paper: buffering prevents dropouts)")
-	out.fact("buf_l0_max", res.Series.Get("qa.buf.l0").Max(), "peak base-layer buffering (B)")
+	bufL0Max, _ := res.Series.Get("qa.buf.l0").Max()
+	out.fact("buf_l0_max", bufL0Max, "peak base-layer buffering (B)")
 	return out, nil
 }
 
@@ -112,7 +129,7 @@ func Figure2() (*Result, error) {
 // consumption rate, per-layer transmit-rate breakdown, per-layer drain
 // rate, and per-layer buffered data, with Kmax = 2 as in the paper.
 func Figure11(kmax int, scale float64) (*Result, error) {
-	cfg := scenario.T1(kmax, scale)
+	cfg := instrumented(scenario.MustPreset("T1", scenario.WithKmax(kmax), scenario.WithScale(scale)))
 	cfg.Duration = 40 // the paper shows the first 40 seconds
 	res, err := scenario.Run(cfg)
 	if err != nil {
@@ -123,6 +140,7 @@ func Figure11(kmax int, scale float64) (*Result, error) {
 		Series: res.Series,
 		Run:    res,
 	}
+	out.Reports = append(out.Reports, res.Report())
 	out.fact("avg_rate", res.Series.Get("qa.rate").AvgBetween(10, 40), "QA flow transmission rate (B/s)")
 	out.fact("avg_layers", res.Series.Get("qa.layers").AvgBetween(10, 40), "active layers")
 	out.fact("buf_l0_avg", res.Series.Get("qa.buf.l0").AvgBetween(10, 40), "base layer buffers most (paper Fig 11)")
@@ -140,11 +158,14 @@ func Figure12(scale float64, workers int) (*Result, error) {
 	kmaxes := []int{2, 3, 4}
 	cfgs := make([]scenario.Config, len(kmaxes))
 	for i, kmax := range kmaxes {
-		cfgs[i] = scenario.T1(kmax, scale)
+		cfgs[i] = instrumented(scenario.MustPreset("T1", scenario.WithKmax(kmax), scenario.WithScale(scale)))
 	}
 	results, err := scenario.RunAll(cfgs, workers)
 	if err != nil {
 		return nil, err
+	}
+	for _, res := range results {
+		out.Reports = append(out.Reports, res.Report())
 	}
 	for i, kmax := range kmaxes {
 		cfg, res := cfgs[i], results[i]
@@ -159,7 +180,8 @@ func Figure12(scale float64, workers int) (*Result, error) {
 		changes := res.Stats.Adds + res.Stats.Drops
 		out.fact(fmt.Sprintf("kmax%d.changes", kmax), float64(changes), "quality changes (fewer with higher Kmax)")
 		out.fact(fmt.Sprintf("kmax%d.buf_avg", kmax), buft.AvgBetween(30, cfg.Duration), "avg total buffering (more with higher Kmax)")
-		out.fact(fmt.Sprintf("kmax%d.buf_max", kmax), buft.Max(), "peak total buffering")
+		bufMax, _ := buft.Max()
+		out.fact(fmt.Sprintf("kmax%d.buf_max", kmax), bufMax, "peak total buffering")
 		out.Run = res
 	}
 	return out, nil
@@ -168,12 +190,13 @@ func Figure12(scale float64, workers int) (*Result, error) {
 // Figure13 regenerates the responsiveness experiment: T2's CBR source at
 // half the bottleneck bandwidth from t=30s to t=60s, Kmax = 4.
 func Figure13(scale float64) (*Result, error) {
-	cfg := scenario.T2(4, scale)
+	cfg := instrumented(scenario.MustPreset("T2", scenario.WithKmax(4), scenario.WithScale(scale)))
 	res, err := scenario.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{Name: "Figure 13: effect of long-term changes in bandwidth (CBR burst)", Series: res.Series, Run: res}
+	out.Reports = append(out.Reports, res.Report())
 	layers := res.Series.Get("qa.layers")
 	out.fact("layers_before", layers.AvgBetween(15, 30), "avg layers before the burst")
 	out.fact("layers_during", layers.AvgBetween(40, 60), "avg layers during the burst (drops)")
@@ -195,8 +218,9 @@ type TableCell struct {
 // The paper uses Kmax in {2, 3, 4, 5, 8}. The 2 x len(kmaxes) runs are
 // independent full simulations and execute concurrently on workers
 // goroutines (<= 0 means one per CPU); cell values are identical to the
-// sequential path because each run owns its engine and RNGs.
-func TablesSweep(kmaxes []int, scale float64, workers int) ([]TableCell, error) {
+// sequential path because each run owns its engine and RNGs. The second
+// return value is one run report per cell, in cell order.
+func TablesSweep(kmaxes []int, scale float64, workers int) ([]TableCell, []scenario.RunReport, error) {
 	if len(kmaxes) == 0 {
 		kmaxes = []int{2, 3, 4, 5, 8}
 	}
@@ -204,22 +228,20 @@ func TablesSweep(kmaxes []int, scale float64, workers int) ([]TableCell, error) 
 	var cells []TableCell
 	for _, test := range []string{"T1", "T2"} {
 		for _, kmax := range kmaxes {
-			if test == "T1" {
-				cfgs = append(cfgs, scenario.T1(kmax, scale))
-			} else {
-				cfgs = append(cfgs, scenario.T2(kmax, scale))
-			}
+			cfgs = append(cfgs, instrumented(scenario.MustPreset(test, scenario.WithKmax(kmax), scenario.WithScale(scale))))
 			cells = append(cells, TableCell{Test: test, Kmax: kmax})
 		}
 	}
 	results, err := scenario.RunAll(cfgs, workers)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	reps := make([]scenario.RunReport, len(results))
 	for i, res := range results {
 		cells[i].DropStats = res.Stats
+		reps[i] = res.Report()
 	}
-	return cells, nil
+	return cells, reps, nil
 }
 
 // RenderTables writes Table 1 (buffering efficiency) and Table 2 (drops

@@ -83,11 +83,11 @@ func TestTablesSweepParallelMatchesSequential(t *testing.T) {
 		t.Skip("paper-scale simulation")
 	}
 	kmaxes := []int{2}
-	seq, err := TablesSweep(kmaxes, DefaultScale, 1)
+	seq, _, err := TablesSweep(kmaxes, DefaultScale, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := TablesSweep(kmaxes, DefaultScale, 4)
+	par, _, err := TablesSweep(kmaxes, DefaultScale, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

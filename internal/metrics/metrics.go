@@ -1,0 +1,81 @@
+// Package metrics is a small, stdlib-only instrumentation layer for the
+// per-packet hot paths: counters, gauges, and fixed-bucket log-spaced
+// histograms behind a registry with construction-time handle
+// registration, so the record path is lock-free, branch-light, and
+// allocation-free.
+//
+// Two recording tiers exist, matching the two kinds of producers in this
+// codebase:
+//
+//   - Handle instruments (Counter, Gauge, Histogram) are padded atomics.
+//     Recording is one uncontended atomic op, safe from any number of
+//     goroutines, and costs nothing in allocations. Use them for
+//     event-granularity facts (backoffs, layer changes, RTT samples,
+//     recoveries) and anywhere several goroutines share one instrument
+//     (the UDP endpoints, cross-run aggregation).
+//   - Func instruments (Registry.CounterFunc, Registry.GaugeFunc)
+//     publish a value that some single-writer component already
+//     maintains as a plain field (the simulator engine's event counts,
+//     a queue's byte occupancy). The record path is the component's own
+//     plain increment — zero added cost — and the function is only
+//     invoked at snapshot time. The caller guarantees snapshots are
+//     quiescent or otherwise synchronized with the writer.
+//
+// Registration (Registry.Counter, Registry.Gauge, Registry.Histogram) is
+// idempotent by name: asking twice returns the same handle, so
+// independent components that agree on a name share (and aggregate into)
+// one instrument. Multiple Func registrations under one name aggregate
+// by summation at snapshot time.
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic int64, padded so adjacent
+// counters never share a cache line (hot-path increments on two distinct
+// counters must not false-share). The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 (stored as bits), padded like Counter. The
+// zero value reads as 0.
+type Gauge struct {
+	bits atomic.Uint64
+	_    [56]byte
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetMax raises the gauge to v if v is greater than the current value.
+// Only meaningful for non-negative values (the bit patterns of
+// non-negative floats order like the floats themselves, so the
+// compare-and-swap loop is correct and almost always a single load).
+func (g *Gauge) SetMax(v float64) {
+	nb := math.Float64bits(v)
+	for {
+		ob := g.bits.Load()
+		if math.Float64frombits(ob) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(ob, nb) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }

@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Registry owns a set of named instruments. Registration takes a mutex
+// and may allocate; it happens at construction time. The returned
+// handles are what hot paths record through — no lookup, no lock.
+//
+// Registration is idempotent: two calls with one name return the same
+// handle, so components that agree on a name share one aggregated
+// instrument (this is what makes a registry shared across concurrent
+// simulation runs meaningful — per-run counts sum deterministically).
+//
+// All methods are nil-safe: calls on a nil *Registry return standalone,
+// fully functional but unregistered instruments (Func registrations
+// become no-ops). Components can therefore instrument unconditionally
+// and let the caller decide whether anything is collected.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	localHists map[string][]*LocalHistogram
+	counterFns map[string][]func() int64
+	gaugeFns   map[string][]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		hists:      make(map[string]*Histogram),
+		localHists: make(map[string][]*LocalHistogram),
+		counterFns: make(map[string][]func() int64),
+		gaugeFns:   make(map[string][]func() float64),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with opts on first use (later opts for the same name are ignored).
+func (r *Registry) Histogram(name string, opts HistogramOpts) *Histogram {
+	if r == nil {
+		return NewHistogram(opts)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(opts)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// LocalHistogram registers and returns a NEW single-writer histogram
+// under name — unlike Histogram, every call returns its own instance,
+// so each registering component owns a private writer (the histogram
+// analogue of CounterFunc: the hot path pays plain increments, the
+// registry sums all same-name instances at snapshot time, and the
+// snapshot caller synchronizes with the writers). All registrations
+// under one name must use the same opts.
+func (r *Registry) LocalHistogram(name string, opts HistogramOpts) *LocalHistogram {
+	h := NewLocalHistogram(opts)
+	if r == nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.localHists[name] = append(r.localHists[name], h)
+	return h
+}
+
+// CounterFunc publishes a counter whose value is read from fn at
+// snapshot time. Use it to expose a plain field a single-writer hot
+// path already maintains; the snapshot caller is responsible for
+// synchronizing with the writer (typically by snapshotting from the
+// writer's goroutine or after it has finished). Multiple functions
+// registered under one name sum.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counterFns[name] = append(r.counterFns[name], fn)
+}
+
+// GaugeFunc publishes a gauge computed from fn at snapshot time; see
+// CounterFunc for the synchronization contract. Multiple functions
+// registered under one name sum.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = append(r.gaugeFns[name], fn)
+}
+
+// Snapshot is a point-in-time copy of every registered instrument,
+// ready for JSON encoding (map keys marshal sorted, so the output is
+// schema-stable and deterministic for deterministic producers).
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]float64        `json:"gauges"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+}
+
+// Snapshot captures every instrument. Handle instruments are read
+// atomically; Func instruments are invoked (see CounterFunc for the
+// synchronization contract).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramStats{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters[name] += c.Load()
+	}
+	for name, fns := range r.counterFns {
+		for _, fn := range fns {
+			snap.Counters[name] += fn()
+		}
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] += g.Load()
+	}
+	for name, fns := range r.gaugeFns {
+		for _, fn := range fns {
+			snap.Gauges[name] += fn()
+		}
+	}
+	// Histograms: merge the atomic instrument and every local instance
+	// registered under one name into a single bucket-count vector, then
+	// summarize once (all same-name registrations share one layout).
+	for name, h := range r.hists {
+		counts := make([]int64, len(h.counts))
+		for i := range h.counts {
+			counts[i] = h.counts[i].Load()
+		}
+		for _, lh := range r.localHists[name] {
+			addCounts(counts, lh.counts)
+		}
+		snap.Histograms[name] = statsFromCounts(h.lo, h.minExp, h.nb, counts)
+	}
+	for name, lhs := range r.localHists {
+		if _, done := r.hists[name]; done {
+			continue
+		}
+		counts := make([]int64, len(lhs[0].counts))
+		for _, lh := range lhs {
+			addCounts(counts, lh.counts)
+		}
+		snap.Histograms[name] = statsFromCounts(lhs[0].lo, lhs[0].minExp, lhs[0].nb, counts)
+	}
+	return snap
+}
+
+// addCounts sums src into dst element-wise over the shorter length.
+func addCounts(dst, src []int64) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] += src[i]
+	}
+}
+
+// WriteJSON writes the current snapshot as indented JSON, expvar-style.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler returns an http.Handler serving the registry's JSON snapshot,
+// for an expvar-style metrics endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+}

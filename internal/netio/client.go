@@ -7,14 +7,17 @@ import (
 	"sync"
 	"time"
 
+	"qav/internal/metrics"
 	"qav/internal/video"
 )
 
 // ClientStats summarizes what a client received and could play.
 type ClientStats struct {
-	Packets       int64
-	Bytes         int64
-	ByLayer       [16]int64 // bytes per layer
+	Packets int64
+	Bytes   int64
+	// ByLayer counts bytes per layer. It grows on demand to the highest
+	// layer seen; index through LayerBytes to avoid bounds worries.
+	ByLayer       []int64
 	HighestLayer  int
 	FirstArrival  time.Duration
 	LastArrival   time.Duration
@@ -26,6 +29,15 @@ type ClientStats struct {
 	// layer-seconds, stalls, per-layer gaps) when the client was
 	// created with a video receiver (DialVideo).
 	Playback video.Stats
+}
+
+// LayerBytes returns the bytes received for layer l, zero for layers
+// never seen (including l beyond the slice).
+func (st ClientStats) LayerBytes(l int) int64 {
+	if l < 0 || l >= len(st.ByLayer) {
+		return 0
+	}
+	return st.ByLayer[l]
 }
 
 // Client requests a stream from a server (directly or through a Pipe)
@@ -43,6 +55,10 @@ type Client struct {
 	rx      *video.Receiver
 	pktSize int64
 	seen    map[seenKey]bool // (layer, off) already delivered once
+
+	// reg is the per-stream metrics registry; snapshot functions lock
+	// c.mu, so it is safe to snapshot concurrently with streaming.
+	reg *metrics.Registry
 }
 
 type seenKey struct {
@@ -60,8 +76,25 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netio: dial %q: %w", addr, err)
 	}
-	return &Client{conn: conn, lastSeq: -1, seen: make(map[seenKey]bool)}, nil
+	c := &Client{conn: conn, lastSeq: -1, seen: make(map[seenKey]bool), reg: metrics.NewRegistry()}
+	locked := func(read func() int64) func() int64 {
+		return func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return read()
+		}
+	}
+	c.reg.CounterFunc("netio.rx.packets", locked(func() int64 { return c.stats.Packets }))
+	c.reg.CounterFunc("netio.rx.bytes", locked(func() int64 { return c.stats.Bytes }))
+	c.reg.CounterFunc("netio.rx.reorders", locked(func() int64 { return c.stats.ReorderEvents }))
+	c.reg.CounterFunc("netio.rx.retransmits", locked(func() int64 { return c.stats.Retransmits }))
+	c.reg.CounterFunc("netio.rx.nacks", locked(func() int64 { return c.stats.NacksSent }))
+	return c, nil
 }
+
+// Metrics returns the client's per-stream metrics registry. Snapshots
+// are safe to take concurrently with streaming.
+func (c *Client) Metrics() *metrics.Registry { return c.reg }
 
 // DialVideo connects a client with a playout model attached: received
 // bytes feed a hierarchical-decoding receiver whose quality metrics
@@ -89,6 +122,8 @@ func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := c.stats
+	out.ByLayer = make([]int64, len(c.stats.ByLayer))
+	copy(out.ByLayer, c.stats.ByLayer)
 	if c.rx != nil {
 		c.rx.Advance(time.Since(c.started).Seconds())
 		out.Playback = c.rx.Stats()
@@ -172,9 +207,10 @@ func (c *Client) record(h DataHeader, size int) {
 	}
 	st.Packets++
 	st.Bytes += int64(size)
-	if int(h.Layer) < len(st.ByLayer) {
-		st.ByLayer[h.Layer] += int64(size)
+	for len(st.ByLayer) <= int(h.Layer) {
+		st.ByLayer = append(st.ByLayer, 0)
 	}
+	st.ByLayer[h.Layer] += int64(size)
 	if int(h.Layer) > st.HighestLayer {
 		st.HighestLayer = int(h.Layer)
 	}

@@ -3,11 +3,13 @@ package netio
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
 	"qav/internal/core"
+	"qav/internal/metrics"
 	"qav/internal/rap"
 )
 
@@ -32,9 +34,11 @@ type ServerStats struct {
 	SentPkts     int64
 	AckedPkts    int64
 	Backoffs     int64
-	SentByLayer  [16]int64
-	Retransmits  int64
-	Events       []core.Event
+	// SentByLayer counts packets per layer; its length is the
+	// controller's MaxLayers, so any layer count works.
+	SentByLayer []int64
+	Retransmits int64
+	Events      []core.Event
 }
 
 // Server streams layered data over UDP to one client at a time, pacing
@@ -50,10 +54,14 @@ type Server struct {
 	start       time.Time
 	seqLayer    map[int64]int
 	payload     []byte
-	sentByLayer [16]int64
-	layerOff    [16]int64 // next byte offset per layer's stream
-	nackQueue   []nack    // pending selective retransmissions
+	sentByLayer []int64 // packets per layer, MaxLayers long
+	layerOff    []int64 // next byte offset per layer's stream, MaxLayers long
+	nackQueue   []nack  // pending selective retransmissions
 	Retransmits int64
+
+	// reg is the per-stream metrics registry; snapshot functions lock
+	// s.mu, so it is safe to snapshot concurrently with streaming.
+	reg *metrics.Registry
 }
 
 // nack is a pending retransmission request.
@@ -78,16 +86,65 @@ func NewServer(conn *net.UDPConn, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
-		cfg:      cfg,
-		conn:     conn,
-		snd:      rap.NewSender(cfg.RAP),
-		ctrl:     ctrl,
-		start:    time.Now(),
-		seqLayer: make(map[int64]int),
-		payload:  make([]byte, cfg.RAP.PacketSize-DataHeaderLen),
-	}, nil
+	maxL := ctrl.P.MaxLayers // post-default value
+	s := &Server{
+		cfg:         cfg,
+		conn:        conn,
+		snd:         rap.NewSender(cfg.RAP),
+		ctrl:        ctrl,
+		start:       time.Now(),
+		seqLayer:    make(map[int64]int),
+		payload:     make([]byte, cfg.RAP.PacketSize-DataHeaderLen),
+		sentByLayer: make([]int64, maxL),
+		layerOff:    make([]int64, maxL),
+		reg:         metrics.NewRegistry(),
+	}
+	s.snd.SetInstruments(rap.NewInstruments(s.reg, "rap"))
+	locked := func(read func() int64) func() int64 {
+		return func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return read()
+		}
+	}
+	s.reg.CounterFunc("netio.sent", locked(func() int64 { return s.snd.Sent }))
+	s.reg.CounterFunc("netio.acked", locked(func() int64 { return s.snd.Acked }))
+	s.reg.CounterFunc("netio.lost", locked(func() int64 { return s.snd.Lost }))
+	s.reg.CounterFunc("netio.retransmits", locked(func() int64 { return s.Retransmits }))
+	s.reg.GaugeFunc("netio.rate", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.snd.Rate()
+	})
+	s.reg.GaugeFunc("netio.srtt", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.snd.SRTT()
+	})
+	s.reg.GaugeFunc("qa.layers", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.ctrl.ActiveLayers())
+	})
+	s.reg.GaugeFunc("qa.buftotal", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.ctrl.TotalBuf()
+	})
+	for l := 0; l < maxL; l++ {
+		l := l
+		s.reg.CounterFunc(fmt.Sprintf("netio.sent.l%d", l), locked(func() int64 { return s.sentByLayer[l] }))
+	}
+	return s, nil
 }
+
+// Metrics returns the server's per-stream metrics registry. Snapshots
+// are safe to take concurrently with streaming.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// WriteMetricsJSON writes the current registry snapshot as indented
+// JSON, expvar-style.
+func (s *Server) WriteMetricsJSON(w io.Writer) error { return s.reg.WriteJSON(w) }
 
 // Addr returns the server's bound address.
 func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
@@ -100,6 +157,8 @@ func (s *Server) Stats() ServerStats {
 	defer s.mu.Unlock()
 	ev := make([]core.Event, len(s.ctrl.Events))
 	copy(ev, s.ctrl.Events)
+	byLayer := make([]int64, len(s.sentByLayer))
+	copy(byLayer, s.sentByLayer)
 	return ServerStats{
 		Rate:         s.snd.Rate(),
 		SRTT:         s.snd.SRTT(),
@@ -108,7 +167,7 @@ func (s *Server) Stats() ServerStats {
 		SentPkts:     s.snd.Sent,
 		AckedPkts:    s.snd.Acked,
 		Backoffs:     s.snd.Backoffs,
-		SentByLayer:  s.sentByLayer,
+		SentByLayer:  byLayer,
 		Retransmits:  s.Retransmits,
 		Events:       ev,
 	}

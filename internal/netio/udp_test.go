@@ -86,8 +86,8 @@ func TestUDPDirectStream(t *testing.T) {
 	if ss.ActiveLayers < 2 {
 		t.Fatalf("server never added layers: %d", ss.ActiveLayers)
 	}
-	if cs.ByLayer[0] == 0 || cs.ByLayer[1] == 0 {
-		t.Fatalf("client layer bytes: %v", cs.ByLayer[:4])
+	if cs.LayerBytes(0) == 0 || cs.LayerBytes(1) == 0 {
+		t.Fatalf("client layer bytes: %v", cs.ByLayer)
 	}
 }
 
@@ -140,7 +140,7 @@ func TestUDPSurvivesRandomLoss(t *testing.T) {
 		t.Fatal("2% loss never triggered a backoff")
 	}
 	// Base layer keeps flowing.
-	if cs.ByLayer[0] == 0 {
+	if cs.LayerBytes(0) == 0 {
 		t.Fatal("base layer starved")
 	}
 }

@@ -1,0 +1,47 @@
+package rap
+
+import "qav/internal/metrics"
+
+// Instruments are the metric handles a RAP sender records through. They
+// are registered once, at instrumentation time; the record sites are
+// nil-guarded so an uninstrumented sender pays one predictable branch.
+type Instruments struct {
+	// Backoffs counts multiplicative decreases (loss clusters reacted to).
+	Backoffs *metrics.Counter
+	// Timeouts counts Step invocations that detected timed-out packets.
+	Timeouts *metrics.Counter
+	// SRTT observes the smoothed RTT estimate after every sample.
+	SRTT *metrics.Histogram
+	// AckGap observes the spacing between successive ACK arrivals.
+	AckGap *metrics.Histogram
+}
+
+// NewInstruments registers RAP instruments on reg under prefix (e.g.
+// prefix "rap" yields "rap.backoffs", "rap.srtt", ...). Thanks to the
+// registry's idempotent registration, senders sharing a prefix share
+// aggregated instruments.
+func NewInstruments(reg *metrics.Registry, prefix string) *Instruments {
+	return &Instruments{
+		Backoffs: reg.Counter(prefix + ".backoffs"),
+		Timeouts: reg.Counter(prefix + ".timeouts"),
+		SRTT:     reg.Histogram(prefix+".srtt", metrics.HistogramOpts{}),
+		AckGap:   reg.Histogram(prefix+".ackgap", metrics.HistogramOpts{}),
+	}
+}
+
+// SetInstruments attaches ins without publishing any Func metrics.
+// Unlike Instrument it is safe for concurrently-snapshotted registries:
+// the attached handles are atomic, so no synchronization contract is
+// inherited by the registry's readers.
+func (s *Sender) SetInstruments(ins *Instruments) { s.ins = ins }
+
+// Instrument attaches ins (may be shared between senders) and publishes
+// the sender's packet counters on reg under the same prefix as
+// snapshot-time Func metrics. Call before the simulation starts.
+func (s *Sender) Instrument(reg *metrics.Registry, prefix string, ins *Instruments) {
+	s.ins = ins
+	reg.CounterFunc(prefix+".sent", func() int64 { return s.Sent })
+	reg.CounterFunc(prefix+".acked", func() int64 { return s.Acked })
+	reg.CounterFunc(prefix+".lost", func() int64 { return s.Lost })
+	reg.GaugeFunc(prefix+".rate", func() float64 { return s.rate })
+}

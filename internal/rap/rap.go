@@ -86,6 +86,11 @@ type Sender struct {
 
 	fg fineGrain
 
+	// ins, when set via Instrument, receives per-event recordings. Nil
+	// on uninstrumented senders: the record sites are branch-guarded.
+	ins       *Instruments
+	lastAckAt float64
+
 	// Counters for inspection and tests.
 	Sent      int64
 	Acked     int64
@@ -106,6 +111,7 @@ func NewSender(cfg Config) *Sender {
 		outstanding: make(map[int64]float64),
 		highestAck:  -1,
 		lastBackoff: math.Inf(-1),
+		lastAckAt:   -1,
 		fg:          fineGrain{enabled: cfg.FineGrain},
 	}
 }
@@ -169,6 +175,12 @@ func (s *Sender) OnSend(now float64) int64 {
 // returns the backoff performed, if any (loss inferred from the ACK
 // pattern), or nil.
 func (s *Sender) OnAck(now float64, seq int64) *Backoff {
+	if s.ins != nil {
+		if s.lastAckAt >= 0 {
+			s.ins.AckGap.Observe(now - s.lastAckAt)
+		}
+		s.lastAckAt = now
+	}
 	sendTime, ok := s.outstanding[seq]
 	if ok {
 		delete(s.outstanding, seq)
@@ -211,6 +223,9 @@ func (s *Sender) Step(now float64) *Backoff {
 	}
 	if len(lost) > 0 {
 		s.TimeoutEv++
+		if s.ins != nil {
+			s.ins.Timeouts.Inc()
+		}
 		if b := s.lossEvent(now, lost); b != nil {
 			return b
 		}
@@ -240,6 +255,9 @@ func (s *Sender) lossEvent(now float64, lost []int64) *Backoff {
 		s.rate = s.cfg.MinRate
 	}
 	s.Backoffs++
+	if s.ins != nil {
+		s.ins.Backoffs.Inc()
+	}
 	s.lastBackoff = now
 	// One SRTT of grace: losses detected within it are the same cluster.
 	s.backoffFence = now + s.srtt
@@ -268,6 +286,9 @@ func (s *Sender) updateRTT(sample float64) {
 		s.peakRTT = s.srtt
 	} else {
 		s.peakRTT += 0.01 * (s.srtt - s.peakRTT)
+	}
+	if s.ins != nil {
+		s.ins.SRTT.Observe(s.srtt)
 	}
 }
 

@@ -11,10 +11,10 @@ import (
 func sweepConfigs() []Config {
 	var cfgs []Config
 	for _, kmax := range []int{2, 4} {
-		t1 := T1(kmax, 1)
+		t1 := MustPreset("T1", WithKmax(kmax))
 		t1.Duration = 20
 		cfgs = append(cfgs, t1)
-		t2 := T2(kmax, 1)
+		t2 := MustPreset("T2", WithKmax(kmax))
 		t2.Duration = 20
 		cfgs = append(cfgs, t2)
 	}
@@ -95,7 +95,7 @@ func TestRunAllEmpty(t *testing.T) {
 // A failing config must surface the earliest error by input index while
 // the remaining runs still complete.
 func TestRunAllAggregatesFirstError(t *testing.T) {
-	good := SingleRAP()
+	good := MustPreset("SingleRAP")
 	good.Duration = 5
 	cfgs := []Config{good, {}, good, {}}
 	res, err := RunAll(cfgs, 2)
@@ -114,7 +114,7 @@ func TestRunAllAggregatesFirstError(t *testing.T) {
 // sampler used to panic with index out of range) and must emit the
 // delivered-rate series alongside the transmit-rate series.
 func TestRunManyTraceLayersAndDeliveredSeries(t *testing.T) {
-	cfg := SingleQA(2)
+	cfg := MustPreset("SingleQA", WithKmax(2))
 	cfg.Duration = 10
 	cfg.MaxTraceLayers = 20
 	res, err := Run(cfg)
@@ -128,7 +128,7 @@ func TestRunManyTraceLayersAndDeliveredSeries(t *testing.T) {
 	}
 	// The base layer is delivered on a private link: its rx series must
 	// carry actual data, not stay silently at zero.
-	if res.Series.Get("qa.rx.l0").Max() <= 0 {
+	if hi, ok := res.Series.Get("qa.rx.l0").Max(); !ok || hi <= 0 {
 		t.Fatal("qa.rx.l0 never saw delivered bytes")
 	}
 	// Sent and delivered totals must roughly agree on a loss-light link.

@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"encoding/json"
+	"io"
+
+	"qav/internal/metrics"
+	"qav/internal/trace"
+)
+
+// RunReport is the structured, JSON-stable summary of one run: the
+// effective (normalized) configuration, the delivered-quality numbers,
+// and a snapshot of every metric the run recorded. All maps inside
+// marshal with sorted keys, so two identical runs produce byte-identical
+// reports regardless of how many workers executed the sweep around them.
+type RunReport struct {
+	Name       string           `json:"name"`
+	Config     Config           `json:"config"`
+	PlayedSec  float64          `json:"played_sec"`
+	StallSec   float64          `json:"stall_sec"`
+	MeanLayers float64          `json:"mean_layers"`
+	Drops      trace.DropStats  `json:"drops"`
+	Metrics    metrics.Snapshot `json:"metrics"`
+}
+
+// Report summarizes the run. The metrics snapshot is taken now, from
+// the run's registry (empty when the config had none attached); call it
+// after Run has returned — the snapshot's Func instruments read the
+// simulation's single-threaded state.
+func (r *Result) Report() RunReport {
+	rep := RunReport{
+		Name:      r.Cfg.Name,
+		Config:    r.Cfg,
+		PlayedSec: r.PlayedSec,
+		StallSec:  r.StallSec,
+		Drops:     r.Stats,
+		Metrics:   r.Metrics.Snapshot(),
+	}
+	if r.PlayedSec > 0 {
+		rep.MeanLayers = r.LayerSeconds / r.PlayedSec
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteReports writes several reports as one indented JSON array, the
+// qasim/qafig -report artifact format.
+func WriteReports(w io.Writer, reps []RunReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reps)
+}

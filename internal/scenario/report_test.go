@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"qav/internal/metrics"
+)
+
+// reportConfigs builds a small instrumented sweep: every config carries
+// its own fresh registry, the arrangement qasim -report uses so that
+// reports cannot depend on worker scheduling.
+func reportConfigs() []Config {
+	var cfgs []Config
+	for _, kmax := range []int{2, 4} {
+		cfg := MustPreset("T1", WithKmax(kmax))
+		cfg.Duration = 15
+		cfg.Metrics = metrics.NewRegistry()
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+func marshalReports(t *testing.T, results []*Result) []byte {
+	t.Helper()
+	reps := make([]RunReport, len(results))
+	for i, res := range results {
+		reps[i] = res.Report()
+	}
+	var buf bytes.Buffer
+	if err := WriteReports(&buf, reps); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The -report artifact must be byte-identical across repeated runs and
+// across worker counts: this is the golden determinism guarantee for
+// machine-diffable sweeps.
+func TestReportDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	runWith := func(workers int) []byte {
+		results, err := RunAll(reportConfigs(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return marshalReports(t, results)
+	}
+	want := runWith(1)
+	for _, workers := range []int{1, 2, 4} {
+		if got := runWith(workers); !bytes.Equal(want, got) {
+			t.Fatalf("report JSON differs with %d workers:\n%s\nvs\n%s", workers, want, got)
+		}
+	}
+}
+
+// The report must carry every layer's metrics under stable names — the
+// schema qasim -report documents: engine, queue (with histogram
+// quantiles), RAP and TCP transports, and the QA controller.
+func TestReportContainsAllLayers(t *testing.T) {
+	cfg := MustPreset("T1", WithKmax(2))
+	cfg.Duration = 15
+	cfg.Metrics = metrics.NewRegistry()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	if rep.Name != cfg.Name || rep.PlayedSec <= 0 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	snap := rep.Metrics
+	for _, name := range []string{
+		"sim.events.scheduled", "sim.events.executed",
+		"queue.offered", "link.tx.packets",
+		"rap.sent", "rap.acked", "tcp.sent", "tcp.acked",
+		"qa.rap.sent", "qa.adds",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("counter %q missing from report", name)
+		}
+	}
+	for _, name := range []string{"queue.delay", "queue.delay.f0", "rap.srtt", "qa.rap.srtt", "tcp.srtt"} {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Errorf("histogram %q missing from report", name)
+			continue
+		}
+		if name != "queue.delay.f0" && h.Count == 0 {
+			t.Errorf("histogram %q recorded nothing", name)
+		}
+	}
+	if snap.Counters["sim.events.executed"] == 0 {
+		t.Error("engine executed no events?")
+	}
+	if snap.Counters["qa.adds"] == 0 {
+		t.Error("QA controller added no layers in 15s of T1")
+	}
+
+	// Schema stability: the exact top-level JSON keys.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"name", "config", "played_sec", "stall_sec", "mean_layers", "drops", "metrics"} {
+		if _, ok := top[key]; !ok {
+			t.Errorf("report JSON missing top-level key %q", key)
+		}
+	}
+}
+
+// Sharing one registry across a parallel sweep must be race-free (this
+// test is the -race hammer for registration + recording from RunAll
+// workers) and must aggregate counters to exactly the sum of the
+// per-run counts.
+func TestSharedRegistryAcrossParallelRuns(t *testing.T) {
+	perRun := func() []int64 {
+		var counts []int64
+		for _, kmax := range []int{2, 4, 8} {
+			cfg := MustPreset("T1", WithKmax(kmax))
+			cfg.Duration = 10
+			cfg.Metrics = metrics.NewRegistry()
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts = append(counts, res.Metrics.Snapshot().Counters["qa.rap.sent"])
+		}
+		return counts
+	}()
+
+	shared := metrics.NewRegistry()
+	var cfgs []Config
+	for _, kmax := range []int{2, 4, 8} {
+		cfg := MustPreset("T1", WithKmax(kmax))
+		cfg.Duration = 10
+		cfg.Metrics = shared
+		cfgs = append(cfgs, cfg)
+	}
+	if _, err := RunAll(cfgs, len(cfgs)); err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, n := range perRun {
+		want += n
+	}
+	if got := shared.Snapshot().Counters["qa.rap.sent"]; got != want {
+		t.Fatalf("shared registry aggregated %d sent packets, want the per-run sum %d", got, want)
+	}
+}

@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"fmt"
+
+	"qav/internal/sim"
+	"qav/internal/trace"
+)
+
+// startSampler schedules the periodic trace sampler on eng. Sampling is
+// part of the run's dynamics — the QA controller is ticked at every
+// sample so consumption is current — so the sampler must run for every
+// config, and its cadence (cfg.SampleInterval) is part of the result.
+//
+// Series handles and per-layer counters are hoisted out of the closure:
+// resolving fmt.Sprintf names through the set's map on every 0.1 s tick
+// for every layer dominated the sample cost. The counters are sized
+// from the config, so MaxTraceLayers > 16 no longer indexes out of
+// range.
+func startSampler(eng *sim.Engine, net *sim.Dumbbell, cfg Config, res *Result) {
+	type layerSeries struct {
+		buf, share, drain, tx, rx *trace.Series
+	}
+	lastSent := make([]int64, cfg.MaxTraceLayers)
+	lastDelivered := make([]int64, cfg.MaxTraceLayers)
+	var (
+		sRate, sCons, sLayers, sBufTotal *trace.Series
+		perLayer                         []layerSeries
+	)
+	if res.QASrc != nil {
+		sRate = res.Series.Series("qa.rate")
+		sCons = res.Series.Series("qa.consumption")
+		sLayers = res.Series.Series("qa.layers")
+		sBufTotal = res.Series.Series("qa.buftotal")
+		perLayer = make([]layerSeries, cfg.MaxTraceLayers)
+		for l := range perLayer {
+			perLayer[l] = layerSeries{
+				buf:   res.Series.Series(fmt.Sprintf("qa.buf.l%d", l)),
+				share: res.Series.Series(fmt.Sprintf("qa.share.l%d", l)),
+				drain: res.Series.Series(fmt.Sprintf("qa.drain.l%d", l)),
+				tx:    res.Series.Series(fmt.Sprintf("qa.tx.l%d", l)),
+				rx:    res.Series.Series(fmt.Sprintf("qa.rx.l%d", l)),
+			}
+		}
+	}
+	sRap := make([]*trace.Series, len(res.RAPSrcs))
+	for i := range sRap {
+		sRap[i] = res.Series.Series(fmt.Sprintf("rap%d.rate", i))
+	}
+	sQueue := res.Series.Series("queue.bytes")
+
+	var sample func()
+	sample = func() {
+		now := eng.Now()
+		if res.QASrc != nil {
+			q := res.QASrc
+			// Tick the controller so consumption is current at sample time.
+			q.Ctrl.Tick(now, q.Snd.Rate(), q.Snd.ConservativeSlope())
+			sRate.Add(now, q.Snd.Rate())
+			sCons.Add(now, q.Ctrl.ConsumptionRate())
+			sLayers.Add(now, float64(q.Ctrl.ActiveLayers()))
+			sBufTotal.Add(now, q.Ctrl.TotalBuf())
+			bufs := q.Ctrl.Buffers()
+			shares := q.Ctrl.Shares()
+			for l := 0; l < cfg.MaxTraceLayers; l++ {
+				var buf, share, drain float64
+				if l < len(bufs) {
+					buf = bufs[l]
+					share = shares[l]
+					if q.Ctrl.Playing() {
+						drain = cfg.QA.C - share
+						if drain < 0 {
+							drain = 0
+						}
+					}
+				}
+				var sent, delivered int64
+				if l < len(q.SentByLayer) {
+					sent = q.SentByLayer[l]
+				}
+				if l < len(q.DeliveredByLayer) {
+					delivered = q.DeliveredByLayer[l]
+				}
+				txRate := float64(sent-lastSent[l]) / cfg.SampleInterval
+				rxRate := float64(delivered-lastDelivered[l]) / cfg.SampleInterval
+				lastSent[l] = sent
+				lastDelivered[l] = delivered
+				perLayer[l].buf.Add(now, buf)
+				perLayer[l].share.Add(now, share)
+				perLayer[l].drain.Add(now, drain)
+				perLayer[l].tx.Add(now, txRate)
+				perLayer[l].rx.Add(now, rxRate)
+			}
+		}
+		for i, r := range res.RAPSrcs {
+			sRap[i].Add(now, r.Snd.Rate())
+		}
+		sQueue.Add(now, float64(net.Q.Bytes()))
+		if now+cfg.SampleInterval <= cfg.Duration {
+			eng.After(cfg.SampleInterval, sample)
+		}
+	}
+	eng.At(0, sample)
+}

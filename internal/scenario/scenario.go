@@ -5,6 +5,7 @@ import (
 
 	"qav/internal/cbr"
 	"qav/internal/core"
+	"qav/internal/metrics"
 	"qav/internal/rap"
 	"qav/internal/sim"
 	"qav/internal/tcp"
@@ -12,8 +13,7 @@ import (
 )
 
 // Config describes one evaluation run. The zero value is not valid; use
-// one of the preset constructors (T1, T2, SingleRAP, SingleQA) or fill
-// everything explicitly.
+// Preset (or MustPreset) or fill everything explicitly, then Normalize.
 type Config struct {
 	Name string
 
@@ -42,6 +42,35 @@ type Config struct {
 	Duration       float64
 	SampleInterval float64
 	MaxTraceLayers int // per-layer series recorded (default 4, like Fig 11)
+
+	// Metrics, when non-nil, receives the run's instrumentation: engine
+	// event-loop statistics, bottleneck queue counters and queueing-delay
+	// histograms, RAP/TCP transport counters, and QA controller decision
+	// counters. Instrumentation is observation-only — it never changes
+	// simulation results. Sharing one registry across several configs
+	// (e.g. a RunAll sweep) aggregates their counts; registration is
+	// concurrency-safe and counter sums are deterministic.
+	Metrics *metrics.Registry `json:"-"`
+}
+
+// Normalize validates the config and fills defaulted fields in place.
+// It is the single place effective run parameters are computed: Run
+// calls it on its private copy, and flag- or file-driven callers (qasim)
+// call it to display or serialize what will actually run.
+func (cfg *Config) Normalize() error {
+	if cfg.BottleneckRate <= 0 || cfg.Duration <= 0 {
+		return fmt.Errorf("scenario: incomplete config %+v", *cfg)
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = 0.1
+	}
+	if cfg.MaxTraceLayers <= 0 {
+		cfg.MaxTraceLayers = 4
+	}
+	if cfg.PacketSize <= 0 {
+		cfg.PacketSize = 512
+	}
+	return nil
 }
 
 // Result carries everything a figure or table needs from one run.
@@ -55,94 +84,14 @@ type Result struct {
 	RAPSrcs []*RAPSource
 	TCPSrcs []*tcp.Source
 
+	// Metrics is the registry the run recorded into (nil when the
+	// config had none attached).
+	Metrics *metrics.Registry
+
 	// PlayedSec/StallSec/LayerSeconds summarize delivered quality.
 	PlayedSec    float64
 	StallSec     float64
 	LayerSeconds float64
-}
-
-// T1 is the paper's first test: the QA flow with 9 more RAP flows and 10
-// Sack-TCP flows through an 800 Kb/s, 40 ms RTT bottleneck (Fig 11).
-// The per-layer consumption rate is a quarter of the 20-flow fair share,
-// so the QA flow rides at roughly 2-4 active layers like the paper's
-// trace. scale multiplies the bottleneck (and C) to reproduce the
-// paper's published axis values (scale 8 ≈ C of 10 KB/s).
-func T1(kmax int, scale float64) Config {
-	if scale <= 0 {
-		scale = 1
-	}
-	rate := 100_000.0 * scale // 800 Kb/s in bytes/s
-	fair := rate / 20
-	return Config{
-		Name:           fmt.Sprintf("T1(Kmax=%d)", kmax),
-		BottleneckRate: rate,
-		LinkDelay:      0.010,
-		AccessDelay:    0.005,
-		QueueBytes:     int(rate * 0.12), // ~2.4 RTT of buffering
-		PacketSize:     512,
-		NumTCP:         10,
-		NumRAP:         9,
-		WithQA:         true,
-		QA: core.Params{
-			C:          fair / 4,
-			Kmax:       kmax,
-			MaxLayers:  8,
-			StartupSec: 1.0,
-		},
-		Duration:       120,
-		SampleInterval: 0.1,
-	}
-}
-
-// T2 is T1 plus a CBR burst at half the bottleneck bandwidth between 30 s
-// and 60 s (Fig 13's responsiveness experiment).
-func T2(kmax int, scale float64) Config {
-	cfg := T1(kmax, scale)
-	cfg.Name = fmt.Sprintf("T2(Kmax=%d)", kmax)
-	cfg.CBRRate = cfg.BottleneckRate / 2
-	cfg.CBRStart = 30
-	cfg.CBRStop = 60
-	cfg.Duration = 90
-	return cfg
-}
-
-// SingleRAP is Fig 1's setup: one RAP flow alone on a small bottleneck,
-// showing the sawtooth.
-func SingleRAP() Config {
-	return Config{
-		Name:           "SingleRAP",
-		BottleneckRate: 12_000, // ~12 KB/s, like Fig 1's axis
-		LinkDelay:      0.010,
-		AccessDelay:    0.005,
-		QueueBytes:     4 * 512,
-		PacketSize:     512,
-		NumRAP:         1,
-		Duration:       40,
-		SampleInterval: 0.05,
-	}
-}
-
-// SingleQA is Fig 2's conceptual setup: one QA flow alone on a bottleneck
-// sized for about two layers, so individual filling/draining phases are
-// visible.
-func SingleQA(kmax int) Config {
-	return Config{
-		Name:           "SingleQA",
-		BottleneckRate: 12_000,
-		LinkDelay:      0.010,
-		AccessDelay:    0.005,
-		QueueBytes:     4 * 512,
-		PacketSize:     512,
-		WithQA:         true,
-		QA: core.Params{
-			C:          3_000,
-			Kmax:       kmax,
-			MaxLayers:  8,
-			StartupSec: 1.0,
-		},
-		Duration:       60,
-		SampleInterval: 0.05,
-	}
 }
 
 // Run executes the scenario and collects traces and metrics.
@@ -152,17 +101,8 @@ func SingleQA(kmax int) Config {
 // concurrently (see RunAll) and always produce identical results for
 // identical configs.
 func Run(cfg Config) (*Result, error) {
-	if cfg.BottleneckRate <= 0 || cfg.Duration <= 0 {
-		return nil, fmt.Errorf("scenario: incomplete config %+v", cfg)
-	}
-	if cfg.SampleInterval <= 0 {
-		cfg.SampleInterval = 0.1
-	}
-	if cfg.MaxTraceLayers <= 0 {
-		cfg.MaxTraceLayers = 4
-	}
-	if cfg.PacketSize <= 0 {
-		cfg.PacketSize = 512
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
 	}
 
 	eng := sim.NewEngine()
@@ -183,7 +123,7 @@ func Run(cfg Config) (*Result, error) {
 	})
 	baseRTT := net.BaseRTT()
 
-	res := &Result{Cfg: cfg, Series: trace.NewSet()}
+	res := &Result{Cfg: cfg, Series: trace.NewSet(), Metrics: cfg.Metrics}
 	flowID := 0
 
 	rapCfg := func() rap.Config {
@@ -231,94 +171,8 @@ func Run(cfg Config) (*Result, error) {
 		flowID++
 	}
 
-	// Periodic sampler. Series handles and per-layer counters are hoisted
-	// out of the closure: resolving fmt.Sprintf names through the set's
-	// map on every 0.1 s tick for every layer dominated the sample cost.
-	// The counters are sized from the config, so MaxTraceLayers > 16 no
-	// longer indexes out of range.
-	type layerSeries struct {
-		buf, share, drain, tx, rx *trace.Series
-	}
-	lastSent := make([]int64, cfg.MaxTraceLayers)
-	lastDelivered := make([]int64, cfg.MaxTraceLayers)
-	var (
-		sRate, sCons, sLayers, sBufTotal *trace.Series
-		perLayer                         []layerSeries
-	)
-	if res.QASrc != nil {
-		sRate = res.Series.Series("qa.rate")
-		sCons = res.Series.Series("qa.consumption")
-		sLayers = res.Series.Series("qa.layers")
-		sBufTotal = res.Series.Series("qa.buftotal")
-		perLayer = make([]layerSeries, cfg.MaxTraceLayers)
-		for l := range perLayer {
-			perLayer[l] = layerSeries{
-				buf:   res.Series.Series(fmt.Sprintf("qa.buf.l%d", l)),
-				share: res.Series.Series(fmt.Sprintf("qa.share.l%d", l)),
-				drain: res.Series.Series(fmt.Sprintf("qa.drain.l%d", l)),
-				tx:    res.Series.Series(fmt.Sprintf("qa.tx.l%d", l)),
-				rx:    res.Series.Series(fmt.Sprintf("qa.rx.l%d", l)),
-			}
-		}
-	}
-	sRap := make([]*trace.Series, len(res.RAPSrcs))
-	for i := range sRap {
-		sRap[i] = res.Series.Series(fmt.Sprintf("rap%d.rate", i))
-	}
-	sQueue := res.Series.Series("queue.bytes")
-
-	var sample func()
-	sample = func() {
-		now := eng.Now()
-		if res.QASrc != nil {
-			q := res.QASrc
-			// Tick the controller so consumption is current at sample time.
-			q.Ctrl.Tick(now, q.Snd.Rate(), q.Snd.ConservativeSlope())
-			sRate.Add(now, q.Snd.Rate())
-			sCons.Add(now, q.Ctrl.ConsumptionRate())
-			sLayers.Add(now, float64(q.Ctrl.ActiveLayers()))
-			sBufTotal.Add(now, q.Ctrl.TotalBuf())
-			bufs := q.Ctrl.Buffers()
-			shares := q.Ctrl.Shares()
-			for l := 0; l < cfg.MaxTraceLayers; l++ {
-				var buf, share, drain float64
-				if l < len(bufs) {
-					buf = bufs[l]
-					share = shares[l]
-					if q.Ctrl.Playing() {
-						drain = cfg.QA.C - share
-						if drain < 0 {
-							drain = 0
-						}
-					}
-				}
-				var sent, delivered int64
-				if l < len(q.SentByLayer) {
-					sent = q.SentByLayer[l]
-				}
-				if l < len(q.DeliveredByLayer) {
-					delivered = q.DeliveredByLayer[l]
-				}
-				txRate := float64(sent-lastSent[l]) / cfg.SampleInterval
-				rxRate := float64(delivered-lastDelivered[l]) / cfg.SampleInterval
-				lastSent[l] = sent
-				lastDelivered[l] = delivered
-				perLayer[l].buf.Add(now, buf)
-				perLayer[l].share.Add(now, share)
-				perLayer[l].drain.Add(now, drain)
-				perLayer[l].tx.Add(now, txRate)
-				perLayer[l].rx.Add(now, rxRate)
-			}
-		}
-		for i, r := range res.RAPSrcs {
-			sRap[i].Add(now, r.Snd.Rate())
-		}
-		sQueue.Add(now, float64(net.Q.Bytes()))
-		if now+cfg.SampleInterval <= cfg.Duration {
-			eng.After(cfg.SampleInterval, sample)
-		}
-	}
-	eng.At(0, sample)
+	instrument(cfg.Metrics, net, res, flowID)
+	startSampler(eng, net, cfg, res)
 
 	eng.RunUntil(cfg.Duration)
 
@@ -330,4 +184,34 @@ func Run(cfg Config) (*Result, error) {
 		res.LayerSeconds = res.QASrc.Ctrl.LayerSeconds
 	}
 	return res, nil
+}
+
+// instrument wires every layer of the run into reg: the engine and
+// bottleneck link/queue (with per-flow queueing-delay histograms for the
+// nflows constructed sources), the QA flow's RAP sender and controller
+// under "qa.*", cross-traffic RAP senders under "rap.*" (shared,
+// aggregated), and TCP sources under "tcp.*" (shared, aggregated).
+// No-op when reg is nil: uninstrumented runs pay nothing.
+func instrument(reg *metrics.Registry, net *sim.Dumbbell, res *Result, nflows int) {
+	if reg == nil {
+		return
+	}
+	net.Instrument(reg)
+	net.Bneck.InstrumentFlows(reg, nflows)
+	if res.QASrc != nil {
+		res.QASrc.Snd.Instrument(reg, "qa.rap", rap.NewInstruments(reg, "qa.rap"))
+		res.QASrc.Ctrl.Instrument(reg, "qa", core.NewInstruments(reg, "qa"))
+	}
+	if len(res.RAPSrcs) > 0 {
+		ins := rap.NewInstruments(reg, "rap")
+		for _, r := range res.RAPSrcs {
+			r.Snd.Instrument(reg, "rap", ins)
+		}
+	}
+	if len(res.TCPSrcs) > 0 {
+		ins := tcp.NewInstruments(reg, "tcp")
+		for _, t := range res.TCPSrcs {
+			t.Instrument(reg, "tcp", ins)
+		}
+	}
 }

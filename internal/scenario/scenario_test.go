@@ -8,7 +8,7 @@ import (
 )
 
 func TestSingleRAPSawtooth(t *testing.T) {
-	cfg := SingleRAP()
+	cfg := MustPreset("SingleRAP")
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -35,7 +35,7 @@ func TestSingleRAPSawtooth(t *testing.T) {
 }
 
 func TestSingleQAPlaysAndBuffers(t *testing.T) {
-	cfg := SingleQA(2)
+	cfg := MustPreset("SingleQA", WithKmax(2))
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -47,9 +47,9 @@ func TestSingleQAPlaysAndBuffers(t *testing.T) {
 		t.Fatalf("played only %.1fs of %.0fs", res.PlayedSec, cfg.Duration)
 	}
 	// ~12 KB/s capacity over 3 KB/s layers: should reach at least 2 layers.
-	layers := res.Series.Get("qa.layers")
-	if layers.Max() < 2 {
-		t.Fatalf("never exceeded %v layers", layers.Max())
+	maxLayers, _ := res.Series.Get("qa.layers").Max()
+	if maxLayers < 2 {
+		t.Fatalf("never exceeded %v layers", maxLayers)
 	}
 	if res.StallSec > 1 {
 		t.Fatalf("stalled %.2fs on a private link", res.StallSec)
@@ -66,15 +66,15 @@ func TestSingleQAPlaysAndBuffers(t *testing.T) {
 }
 
 func TestT1QAFlowHoldsLayersWithoutStalling(t *testing.T) {
-	cfg := T1(2, 1)
+	cfg := MustPreset("T1", WithKmax(2))
 	cfg.Duration = 60
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	layers := res.Series.Get("qa.layers")
-	if layers.Max() < 2 {
-		t.Fatalf("QA flow never got past %v layers at fair share 4C", layers.Max())
+	maxLayers, _ := res.Series.Get("qa.layers").Max()
+	if maxLayers < 2 {
+		t.Fatalf("QA flow never got past %v layers at fair share 4C", maxLayers)
 	}
 	if res.StallSec > 2 {
 		t.Fatalf("stalled %.2fs in steady T1", res.StallSec)
@@ -88,7 +88,7 @@ func TestT1QAFlowHoldsLayersWithoutStalling(t *testing.T) {
 }
 
 func TestT1EfficiencyHigh(t *testing.T) {
-	cfg := T1(2, 1)
+	cfg := MustPreset("T1", WithKmax(2))
 	cfg.Duration = 120
 	res, err := Run(cfg)
 	if err != nil {
@@ -104,7 +104,7 @@ func TestT1EfficiencyHigh(t *testing.T) {
 }
 
 func TestT2CBRBurstForcesAndRecovers(t *testing.T) {
-	cfg := T2(4, 1)
+	cfg := MustPreset("T2", WithKmax(4))
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -131,7 +131,7 @@ func TestKmaxSmoothingReducesQualityChanges(t *testing.T) {
 	for _, kmax := range []int{2, 8} {
 		// The paper-scale variant (C = 10 KB/s): buffer requirements are
 		// substantial there, so Kmax has a visible effect.
-		cfg := T1(kmax, 8)
+		cfg := MustPreset("T1", WithKmax(kmax), WithScale(8))
 		cfg.Duration = 90
 		res, err := Run(cfg)
 		if err != nil {
@@ -157,7 +157,7 @@ func TestRunRejectsEmptyConfig(t *testing.T) {
 }
 
 func TestT1FairnessAcrossRAPFlows(t *testing.T) {
-	cfg := T1(2, 1)
+	cfg := MustPreset("T1", WithKmax(2))
 	cfg.Duration = 60
 	res, err := Run(cfg)
 	if err != nil {
@@ -178,7 +178,7 @@ func TestT1FairnessAcrossRAPFlows(t *testing.T) {
 }
 
 func TestQAControllerEventsConsistent(t *testing.T) {
-	cfg := T1(2, 1)
+	cfg := MustPreset("T1", WithKmax(2))
 	cfg.Duration = 60
 	res, err := Run(cfg)
 	if err != nil {
@@ -207,7 +207,7 @@ func TestQAControllerEventsConsistent(t *testing.T) {
 }
 
 func TestREDVariantRuns(t *testing.T) {
-	cfg := T1(2, 1)
+	cfg := MustPreset("T1", WithKmax(2))
 	cfg.Duration = 30
 	cfg.UseRED = true
 	cfg.REDSeed = 7
@@ -218,13 +218,13 @@ func TestREDVariantRuns(t *testing.T) {
 	if res.StallSec > 2 {
 		t.Fatalf("stalled %.2fs under RED", res.StallSec)
 	}
-	if res.Series.Get("qa.layers").Max() < 2 {
+	if hi, ok := res.Series.Get("qa.layers").Max(); !ok || hi < 2 {
 		t.Fatal("QA flow never got layers under RED")
 	}
 }
 
 func TestFineGrainVariantRuns(t *testing.T) {
-	cfg := T1(2, 1)
+	cfg := MustPreset("T1", WithKmax(2))
 	cfg.Duration = 30
 	cfg.FineGrainRAP = true
 	res, err := Run(cfg)
@@ -241,7 +241,7 @@ func TestFineGrainVariantRuns(t *testing.T) {
 
 func TestDeterministicReplay(t *testing.T) {
 	run := func() (float64, int) {
-		cfg := T1(2, 1)
+		cfg := MustPreset("T1", WithKmax(2))
 		cfg.Duration = 20
 		res, err := Run(cfg)
 		if err != nil {

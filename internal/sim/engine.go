@@ -11,6 +11,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"qav/internal/metrics"
 )
 
 // Event is a scheduled callback in virtual time. Events are recycled
@@ -94,6 +96,14 @@ type Engine struct {
 	nRun   uint64
 	free   []*event // recycled events; a simulation at steady state stops allocating
 	pool   PacketPool
+
+	// Event-loop statistics. Plain fields, not atomics: the engine is
+	// single-threaded, so tracking costs a predictable increment per
+	// event, and Instrument publishes them as snapshot-time Func
+	// metrics instead of taxing the hot path.
+	recycleHits uint64 // schedules served from the free list
+	cancelled   uint64 // dead (cancelled) events released unfired
+	heapMax     int    // high-water mark of pending events
 }
 
 // maxFreeEvents caps the event free list. A transient burst of events
@@ -115,6 +125,24 @@ func (e *Engine) Processed() uint64 { return e.nRun }
 // itself it is single-threaded: all Get/Put calls must come from the
 // goroutine driving the engine.
 func (e *Engine) Pool() *PacketPool { return &e.pool }
+
+// Instrument publishes the engine's event-loop statistics on reg as
+// snapshot-time Func metrics: events scheduled, executed, recycled
+// (free-list hits), cancelled (dead events released unfired), current
+// and peak heap depth. The record path stays the engine's existing
+// plain-field increments — instrumentation adds nothing per event.
+// Snapshots must be synchronized with the engine's goroutine (taken
+// from it, or after the run finishes).
+func (e *Engine) Instrument(reg *metrics.Registry) {
+	reg.CounterFunc("sim.events.scheduled", func() int64 { return int64(e.seq) })
+	reg.CounterFunc("sim.events.executed", func() int64 { return int64(e.nRun) })
+	reg.CounterFunc("sim.events.recycled", func() int64 { return int64(e.recycleHits) })
+	reg.CounterFunc("sim.events.cancelled", func() int64 { return int64(e.cancelled) })
+	reg.GaugeFunc("sim.heap.depth", func() float64 { return float64(len(e.events)) })
+	reg.GaugeFunc("sim.heap.maxdepth", func() float64 { return float64(e.heapMax) })
+	reg.CounterFunc("sim.packets.pooled.gets", func() int64 { return int64(e.pool.Gets) })
+	reg.CounterFunc("sim.packets.pooled.news", func() int64 { return int64(e.pool.News) })
+}
 
 // At schedules fn at absolute virtual time t. Scheduling in the past
 // panics: it would silently corrupt causality.
@@ -140,6 +168,7 @@ func (e *Engine) schedule(t float64, fn func(), fn1 func(any), arg any) Timer {
 	e.seq++
 	var ev *event
 	if n := len(e.free); n > 0 {
+		e.recycleHits++
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
@@ -148,6 +177,9 @@ func (e *Engine) schedule(t float64, fn func(), fn1 func(any), arg any) Timer {
 		ev = &event{time: t, seq: e.seq, fn: fn, fn1: fn1, arg: arg}
 	}
 	heap.Push(&e.events, ev)
+	if len(e.events) > e.heapMax {
+		e.heapMax = len(e.events)
+	}
 	return Timer{ev: ev, gen: ev.gen}
 }
 
@@ -184,6 +216,7 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.dead {
+			e.cancelled++
 			e.release(ev)
 			continue
 		}
@@ -211,6 +244,7 @@ func (e *Engine) RunUntil(t float64) {
 		ev := e.events[0]
 		if ev.dead {
 			heap.Pop(&e.events)
+			e.cancelled++
 			e.release(ev)
 			continue
 		}

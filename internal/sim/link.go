@@ -1,5 +1,11 @@
 package sim
 
+import (
+	"fmt"
+
+	"qav/internal/metrics"
+)
+
 // Link models a store-and-forward output link fed by a Queue: packets are
 // serialized at Rate bytes/s and then delayed by the propagation Delay
 // before being handed to their destination Receiver.
@@ -25,6 +31,19 @@ type Link struct {
 	TxBytes int64
 	// TxPackets counts packets successfully transmitted.
 	TxPackets int64
+
+	// offered counts Offer calls (enqueue attempts); drops live on the
+	// queue. Plain field: the engine is single-threaded.
+	offered int64
+
+	// delayHist, when instrumented, observes per-packet queueing delay
+	// (enqueue to start of serialization). flowDelay optionally splits
+	// the same observation per flow; both are created at registration
+	// time so the record path only indexes. Single-writer local
+	// histograms: the engine thread is the only writer, so each
+	// observation is a plain array increment.
+	delayHist *metrics.LocalHistogram
+	flowDelay []*metrics.LocalHistogram
 }
 
 // NewLink creates a link draining q at rate bytes/s with propagation
@@ -48,13 +67,42 @@ func (l *Link) Rate() float64 { return l.rate }
 // Delay returns the propagation delay in seconds.
 func (l *Link) Delay() float64 { return l.delay }
 
+// Instrument registers the link's transmit and queue statistics on reg
+// and enables the aggregate queueing-delay histogram. Counters and byte
+// gauges publish existing single-writer fields at snapshot time (see
+// Engine.Instrument for the synchronization contract); the histogram is
+// the only per-packet record added, one plain bucket increment per
+// dequeue (a local histogram — the engine thread is its sole writer).
+func (l *Link) Instrument(reg *metrics.Registry) {
+	reg.CounterFunc("link.tx.packets", func() int64 { return l.TxPackets })
+	reg.CounterFunc("link.tx.bytes", func() int64 { return l.TxBytes })
+	reg.CounterFunc("queue.offered", func() int64 { return l.offered })
+	reg.CounterFunc("queue.dropped", func() int64 { return l.queue.Drops() })
+	reg.GaugeFunc("queue.bytes", func() float64 { return float64(l.queue.Bytes()) })
+	reg.GaugeFunc("queue.len", func() float64 { return float64(l.queue.Len()) })
+	l.delayHist = reg.LocalHistogram("queue.delay", metrics.HistogramOpts{})
+}
+
+// InstrumentFlows additionally splits the queueing-delay histogram per
+// flow for FlowIDs in [0, n): packets of flow f observe into
+// "queue.delay.f<f>" alongside the aggregate histogram. Call it at
+// construction time, after the flow count is known.
+func (l *Link) InstrumentFlows(reg *metrics.Registry, n int) {
+	l.flowDelay = make([]*metrics.LocalHistogram, n)
+	for f := 0; f < n; f++ {
+		l.flowDelay[f] = reg.LocalHistogram(fmt.Sprintf("queue.delay.f%d", f), metrics.HistogramOpts{})
+	}
+}
+
 // Offer enqueues p and starts transmission if the link is idle. A
 // packet the queue drops is released back to the engine's pool.
 func (l *Link) Offer(p *Packet) {
+	l.offered++
 	if !l.queue.Enqueue(p) {
 		l.eng.pool.Put(p)
 		return
 	}
+	p.enqAt = l.eng.Now()
 	if l.wake.Active() {
 		// A link-free event is already armed (and may be firing in this
 		// very instant): it owns the next dequeue. Transmitting here too
@@ -78,6 +126,13 @@ func (l *Link) transmitNext() {
 	txTime := float64(p.Size) / l.rate
 	l.TxBytes += int64(p.Size)
 	l.TxPackets++
+	if l.delayHist != nil {
+		d := l.eng.Now() - p.enqAt
+		l.delayHist.Observe(d)
+		if uint(p.FlowID) < uint(len(l.flowDelay)) {
+			l.flowDelay[p.FlowID].Observe(d)
+		}
+	}
 	// The link is free to start the next packet as soon as serialization
 	// finishes; delivery lands after serialization + propagation. Both
 	// instants are known now, so the delivery event is scheduled directly

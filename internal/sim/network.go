@@ -1,5 +1,7 @@
 package sim
 
+import "qav/internal/metrics"
+
 // Dumbbell is the classic single-bottleneck evaluation topology: every
 // source shares one bottleneck queue+link on the forward path, and
 // acknowledgements return over an uncongested reverse path with a fixed
@@ -48,6 +50,13 @@ func NewDumbbell(eng *Engine, cfg DumbbellConfig) *Dumbbell {
 	d.offerFn = d.offer
 	d.ackFn = d.deliverAck
 	return d
+}
+
+// Instrument registers the topology's engine and bottleneck-link
+// metrics on reg; see Engine.Instrument and Link.Instrument.
+func (d *Dumbbell) Instrument(reg *metrics.Registry) {
+	d.Eng.Instrument(reg)
+	d.Bneck.Instrument(reg)
 }
 
 // BaseRTT returns the zero-queue round-trip propagation time.

@@ -55,6 +55,10 @@ type Packet struct {
 	// Dst receives the packet when it exits the network.
 	Dst Receiver
 
+	// enqAt is when the packet entered the bottleneck queue, recorded by
+	// the link so the dequeue can observe the queueing delay.
+	enqAt float64
+
 	// pooled marks a packet currently held by a PacketPool; Put uses it
 	// to panic on double-release.
 	pooled bool

@@ -64,6 +64,10 @@ type Source struct {
 
 	sink *sink
 
+	// ins, when set via Instrument, receives per-event recordings. Nil
+	// on uninstrumented sources: the record sites are branch-guarded.
+	ins *Instruments
+
 	// Stats.
 	SentPkts    int64
 	RetransPkts int64
@@ -153,6 +157,9 @@ func (s *Source) transmit(seq int64, retx bool) {
 	if retx {
 		s.RetransPkts++
 		s.rtxOut[seq] = true
+		if s.ins != nil {
+			s.ins.FastRetransmits.Inc()
+		}
 	}
 	s.net.SendData(p, s.sink)
 }
@@ -167,6 +174,9 @@ func (s *Source) armRTO() {
 
 func (s *Source) onRTO() {
 	s.Timeouts++
+	if s.ins != nil {
+		s.ins.RTOBackoffs.Inc()
+	}
 	s.ssthresh = math.Max(float64(s.pipe())/2, 2)
 	s.cwnd = 1
 	s.dupacks = 0
@@ -259,6 +269,9 @@ func (s *Source) onAck(p *sim.Packet) {
 		s.ssthresh = math.Max(float64(s.pipe())/2, 2)
 		s.cwnd = s.ssthresh
 		s.FastRecover++
+		if s.ins != nil {
+			s.ins.Recoveries.Inc()
+		}
 		if len(s.lost) == 0 {
 			// Triple dupack without SACK info: first hole is lost.
 			s.lost[s.highAck] = true
@@ -284,6 +297,9 @@ func (s *Source) updateRTT(sample float64) {
 	}
 	if s.rto < 0.02 {
 		s.rto = 0.02
+	}
+	if s.ins != nil {
+		s.ins.SRTT.Observe(s.srtt)
 	}
 }
 

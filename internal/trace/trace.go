@@ -34,32 +34,36 @@ func (s *Series) Last() float64 {
 	return s.V[len(s.V)-1]
 }
 
-// Max returns the maximum value, or 0 if empty.
-func (s *Series) Max() float64 {
-	m := math.Inf(-1)
-	for _, v := range s.V {
-		if v > m {
-			m = v
-		}
-	}
-	if math.IsInf(m, -1) {
-		return 0
-	}
-	return m
+// Max returns the maximum value. ok is false when the series is empty —
+// the zero maximum is then a default, not an observed value.
+func (s *Series) Max() (v float64, ok bool) {
+	_, hi, n := s.MinMax()
+	return hi, n > 0
 }
 
-// Min returns the minimum value, or 0 if empty.
-func (s *Series) Min() float64 {
-	m := math.Inf(1)
+// Min returns the minimum value; ok is false when the series is empty.
+func (s *Series) Min() (v float64, ok bool) {
+	lo, _, n := s.MinMax()
+	return lo, n > 0
+}
+
+// MinMax returns the minimum and maximum value and the sample count in
+// one pass. lo and hi are 0 when n is 0.
+func (s *Series) MinMax() (lo, hi float64, n int) {
+	n = len(s.V)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
 	for _, v := range s.V {
-		if v < m {
-			m = v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
 		}
 	}
-	if math.IsInf(m, 1) {
-		return 0
-	}
-	return m
+	return lo, hi, n
 }
 
 // Avg returns the arithmetic mean, or 0 if empty.

@@ -14,8 +14,13 @@ func TestSeriesStats(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		s.Add(float64(i), float64(i))
 	}
-	if s.Len() != 10 || s.Last() != 9 || s.Max() != 9 || s.Min() != 0 {
-		t.Fatalf("stats wrong: len=%d last=%v max=%v min=%v", s.Len(), s.Last(), s.Max(), s.Min())
+	mn, mnOK := s.Min()
+	mx, mxOK := s.Max()
+	if s.Len() != 10 || s.Last() != 9 || mx != 9 || !mxOK || mn != 0 || !mnOK {
+		t.Fatalf("stats wrong: len=%d last=%v max=%v min=%v", s.Len(), s.Last(), mx, mn)
+	}
+	if lo, hi, n := s.MinMax(); lo != 0 || hi != 9 || n != 10 {
+		t.Fatalf("MinMax = (%v, %v, %d), want (0, 9, 10)", lo, hi, n)
 	}
 	if s.Avg() != 4.5 {
 		t.Fatalf("avg = %v, want 4.5", s.Avg())
@@ -30,7 +35,16 @@ func TestSeriesStats(t *testing.T) {
 
 func TestSeriesEmpty(t *testing.T) {
 	var s Series
-	if s.Last() != 0 || s.Max() != 0 || s.Min() != 0 || s.Avg() != 0 {
+	if _, ok := s.Max(); ok {
+		t.Fatal("empty Max reported ok")
+	}
+	if _, ok := s.Min(); ok {
+		t.Fatal("empty Min reported ok")
+	}
+	if _, _, n := s.MinMax(); n != 0 {
+		t.Fatal("empty MinMax reported samples")
+	}
+	if s.Last() != 0 || s.Avg() != 0 {
 		t.Fatal("empty series stats should all be 0")
 	}
 }
@@ -110,7 +124,7 @@ func TestWriteTSVGroupsByTimeVector(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		set.Series("a").Add(float64(i), 1)
 		set.Series("b").Add(float64(i), 2)
-		set.Series("shifted").Add(float64(i) + 0.5, 3)
+		set.Series("shifted").Add(float64(i)+0.5, 3)
 	}
 	var buf bytes.Buffer
 	if err := set.WriteTSV(&buf); err != nil {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"qav/internal/core"
+	"qav/internal/metrics"
 	"qav/internal/netio"
 	"qav/internal/rap"
 	"qav/internal/scenario"
@@ -77,6 +78,24 @@ type (
 	Series = trace.Series
 )
 
+// Metrics types: the instrumentation layer shared by the simulator, the
+// transports, and the UDP endpoints.
+type (
+	// MetricsRegistry owns named counters, gauges, and histograms.
+	// Attach one to SimConfig.Metrics to instrument a run; sharing one
+	// registry across runs aggregates their counts.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry, ready for
+	// JSON encoding.
+	MetricsSnapshot = metrics.Snapshot
+	// RunReport is the structured JSON summary of one simulated run
+	// (effective config, quality numbers, metrics snapshot).
+	RunReport = scenario.RunReport
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
 // Simulate runs one simulated scenario to completion.
 func Simulate(cfg SimConfig) (*SimResult, error) { return scenario.Run(cfg) }
 
@@ -88,21 +107,48 @@ func SimulateAll(cfgs []SimConfig, workers int) ([]*SimResult, error) {
 	return scenario.RunAll(cfgs, workers)
 }
 
+// PresetOption adjusts a named preset (see WithKmax, WithScale).
+type PresetOption = scenario.PresetOption
+
+// WithKmax sets a preset's smoothing factor (default 2).
+func WithKmax(k int) PresetOption { return scenario.WithKmax(k) }
+
+// WithScale multiplies a preset's bottleneck bandwidth and per-layer
+// consumption rate (default 1; 8 reproduces the paper's figure axes).
+func WithScale(s float64) PresetOption { return scenario.WithScale(s) }
+
+// Preset builds a named evaluation setup ("T1", "T2", "SingleRAP",
+// "SingleQA") with functional options:
+//
+//	cfg, err := qav.Preset("T1", qav.WithKmax(2), qav.WithScale(8))
+func Preset(name string, opts ...PresetOption) (SimConfig, error) {
+	return scenario.Preset(name, opts...)
+}
+
+// Presets returns the available preset names, sorted.
+func Presets() []string { return scenario.Presets() }
+
 // T1 returns the paper's first test: the QA flow sharing a bottleneck
 // with 9 RAP and 10 Sack-TCP flows. scale=8 reproduces the paper's
 // figure axes (C = 10 KB/s).
-func T1(kmax int, scale float64) SimConfig { return scenario.T1(kmax, scale) }
+func T1(kmax int, scale float64) SimConfig {
+	return scenario.MustPreset("T1", scenario.WithKmax(kmax), scenario.WithScale(scale))
+}
 
 // T2 returns T1 plus a CBR burst at half the bottleneck bandwidth
 // between t=30s and t=60s (the responsiveness experiment).
-func T2(kmax int, scale float64) SimConfig { return scenario.T2(kmax, scale) }
+func T2(kmax int, scale float64) SimConfig {
+	return scenario.MustPreset("T2", scenario.WithKmax(kmax), scenario.WithScale(scale))
+}
 
 // SingleRAP returns the single-flow sawtooth demonstration (Fig 1).
-func SingleRAP() SimConfig { return scenario.SingleRAP() }
+func SingleRAP() SimConfig { return scenario.MustPreset("SingleRAP") }
 
 // SingleQA returns a single quality-adaptive flow on a private
 // bottleneck (Fig 2's filling/draining demonstration).
-func SingleQA(kmax int) SimConfig { return scenario.SingleQA(kmax) }
+func SingleQA(kmax int) SimConfig {
+	return scenario.MustPreset("SingleQA", scenario.WithKmax(kmax))
+}
 
 // Real-transport types: RAP + quality adaptation over UDP.
 type (

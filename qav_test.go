@@ -20,7 +20,7 @@ func TestFacadeSimulate(t *testing.T) {
 	if res.PlayedSec < 10 {
 		t.Fatalf("played only %.1fs", res.PlayedSec)
 	}
-	if res.Series.Get("qa.layers").Max() < 2 {
+	if hi, ok := res.Series.Get("qa.layers").Max(); !ok || hi < 2 {
 		t.Fatal("never reached two layers")
 	}
 }
