@@ -10,6 +10,7 @@ package qav
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"qav/internal/core"
@@ -273,6 +274,60 @@ func BenchmarkSimulator(b *testing.B) {
 		}
 		eng.At(0, feed)
 		eng.Run()
+	}
+}
+
+// schedTrace is the event-queue churn of one real Figure 11 run (T1,
+// Kmax=2, 40 simulated seconds): every schedule and dequeue the engine
+// issued, in execution order. Recorded once and shared by the
+// BenchmarkScheduler variants so both replay the identical workload.
+var (
+	schedTraceOnce sync.Once
+	schedTrace     []sim.SchedOp
+	schedTraceErr  error
+)
+
+func loadSchedTrace() ([]sim.SchedOp, error) {
+	schedTraceOnce.Do(func() {
+		rec := &sim.SchedRecorder{}
+		cfg := scenario.MustPreset("T1", scenario.WithKmax(2), scenario.WithScale(figures.DefaultScale))
+		cfg.Duration = 40
+		cfg.SchedRec = rec
+		if _, err := scenario.Run(cfg); err != nil {
+			schedTraceErr = err
+			return
+		}
+		schedTrace = rec.Ops
+	})
+	return schedTrace, schedTraceErr
+}
+
+// BenchmarkScheduler replays the recorded Figure 11 churn trace against
+// each pending-event structure in isolation: the container/heap
+// reference vs the calendar queue the engine now defaults to. Same ops,
+// same times, same live depths — the difference is purely the
+// structure's schedule/dequeue cost.
+func BenchmarkScheduler(b *testing.B) {
+	ops, err := loadSchedTrace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pushes := 0
+	for _, op := range ops {
+		if op.Kind == sim.SchedPush {
+			pushes++
+		}
+	}
+	for _, kind := range []sim.SchedulerKind{sim.SchedHeap, sim.SchedCalendar} {
+		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ReportMetric(float64(pushes), "events/replay")
+			for i := 0; i < b.N; i++ {
+				if got := sim.ReplaySched(kind, ops); got == 0 {
+					b.Fatal("replay popped no events")
+				}
+			}
+		})
 	}
 }
 

@@ -72,6 +72,7 @@ func TestReportContainsAllLayers(t *testing.T) {
 	snap := rep.Metrics
 	for _, name := range []string{
 		"sim.events.scheduled", "sim.events.executed",
+		"sim.sched.resizes", "sim.sched.overflow",
 		"queue.offered", "link.tx.packets",
 		"rap.sent", "rap.acked", "tcp.sent", "tcp.acked",
 		"qa.rap.sent", "qa.adds",
@@ -79,6 +80,14 @@ func TestReportContainsAllLayers(t *testing.T) {
 		if _, ok := snap.Counters[name]; !ok {
 			t.Errorf("counter %q missing from report", name)
 		}
+	}
+	for _, name := range []string{"sim.sched.depth", "sim.sched.maxdepth", "sim.sched.buckets"} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %q missing from report", name)
+		}
+	}
+	if snap.Gauges["sim.sched.maxdepth"] <= 0 {
+		t.Error("scheduler peak depth never recorded")
 	}
 	for _, name := range []string{"queue.delay", "queue.delay.f0", "rap.srtt", "qa.rap.srtt", "tcp.srtt"} {
 		h, ok := snap.Histograms[name]

@@ -51,6 +51,12 @@ type Config struct {
 	// (e.g. a RunAll sweep) aggregates their counts; registration is
 	// concurrency-safe and counter sums are deterministic.
 	Metrics *metrics.Registry `json:"-"`
+
+	// SchedRec, when non-nil, captures the engine's event-queue
+	// operations (schedules and dequeues, in execution order) so the
+	// run's scheduler churn can be replayed against a bare structure —
+	// see sim.ReplaySched and BenchmarkScheduler. Observation-only.
+	SchedRec *sim.SchedRecorder `json:"-"`
 }
 
 // Normalize validates the config and fills defaulted fields in place.
@@ -106,12 +112,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	eng := sim.NewEngine()
+	if cfg.SchedRec != nil {
+		eng.RecordSched(cfg.SchedRec)
+	}
 	var queue sim.Queue
 	if cfg.UseRED {
 		queue = sim.NewRED(sim.REDConfig{
 			LimitBytes:  cfg.QueueBytes,
 			MeanPktSize: cfg.PacketSize,
 			Seed:        cfg.REDSeed,
+			// Virtual clock + bottleneck rate enable the Floyd-Jacobson
+			// idle-period decay of the queue average.
+			Now:      eng.Now,
+			LinkRate: cfg.BottleneckRate,
 		})
 	}
 	net := sim.NewDumbbell(eng, sim.DumbbellConfig{

@@ -1,0 +1,376 @@
+package sim
+
+import "sort"
+
+// calQueue is a self-adapting calendar queue (Brown '88), the event
+// scheduler structure ns-2 uses for exactly this workload: a discrete
+// event simulator whose pending-event population is dominated by
+// near-future, roughly evenly spaced packet events. Scheduling and
+// dequeuing are O(1) amortized — an array index plus a short sorted
+// insert — instead of container/heap's O(log n) sift with its
+// interface-boxed Push/Pop.
+//
+// Layout. Events live in an array of time buckets: an event at time t
+// belongs to virtual bucket vb = floor(t/width), stored in physical
+// bucket vb mod nbuckets as a singly-linked list (the *event structs
+// carry the link, so the structure itself never allocates) sorted
+// ascending by the engine's (time, seq) order. The calendar's current
+// position posVB advances monotonically with the popped events; a
+// bucket's list mixes events of different "years" (vb differing by a
+// multiple of nbuckets), and the pop scan distinguishes them with an
+// exact integer comparison of vb — never a float boundary test, so
+// ordering cannot be perturbed by rounding at bucket edges.
+//
+// Determinism. Pop order is exactly ascending (time, seq), bit-for-bit
+// the order the reference binary heap produces: within a bucket the
+// list is (time, seq)-sorted, equal times land in the same virtual
+// bucket, and floor(t/width) is monotone in t, so scanning virtual
+// buckets in increasing order enumerates the global order. This is
+// asserted against the heap over randomized workloads by
+// TestSchedulerDifferential*.
+//
+// Far-future lane. Events scheduled more than a full calendar year
+// (nbuckets*width) ahead of the current position — retransmission
+// timeouts, scenario end markers — would pollute bucket scans, so they
+// go to the overflow lane instead: a slice sorted descending by
+// (time, seq), min at the tail, popped and migrated back into the
+// calendar as the position catches up. Migration happens at pop time
+// and preserves order exactly (an overflow event's vb is always beyond
+// every in-calendar event's vb at the moment either could pop).
+//
+// Resizing. When the bucket-resident population exceeds twice the
+// bucket count the calendar doubles; when it falls below half it
+// halves (hysteresis factor 4, so a steady state never thrashes). Each
+// resize re-derives the bucket width from the observed event spacing:
+// up to 64 sampled event times, sorted, averaging the middle-half gaps
+// (robust to far-future outliers), targeting a handful of events per
+// bucket. All resize decisions depend only on the event population, so
+// they are deterministic too.
+type calQueue struct {
+	heads []*event
+	tails []*event
+	mask  int64   // len(heads)-1; bucket count is always a power of two
+	width float64 // bucket width, seconds
+
+	n     int     // events resident in buckets (excludes overflow)
+	posVB int64   // virtual bucket of the calendar position
+	posT  float64 // time anchor of the position (last popped event time)
+
+	// overflow is the far-future lane: events with vb beyond one full
+	// year at push time, sorted descending by (time, seq) so the
+	// minimum pops from the tail without shifting.
+	overflow []*event
+
+	// cache holds the event the last peek found, with the physical
+	// bucket it heads (-1: tail of the overflow lane). Any push that
+	// sorts before it invalidates; pop consumes it.
+	cache    *event
+	cacheIdx int
+
+	// resizeAt is the live population at the last resize. Triggers
+	// require the population to halve or double since then, so a
+	// workload the width estimator cannot spread (e.g. one tight
+	// far-future cluster pinned in overflow) resizes O(log n) times
+	// instead of once per push.
+	resizeAt int
+
+	// Statistics for Engine.Instrument (single-threaded plain fields,
+	// published as snapshot-time Func metrics).
+	resizes  uint64
+	ovPushes uint64 // events routed through the far-future lane
+
+	evScratch []*event  // resize: collected live events
+	tScratch  []float64 // resize: sampled times for width estimation
+}
+
+const (
+	// minCalBuckets is the initial and minimum bucket count.
+	minCalBuckets = 8
+	// initCalWidth is the bucket width before the first resize has
+	// observed any event spacing.
+	initCalWidth = 1e-3
+	// minCalWidth floors the adaptive width so vb = t/width stays far
+	// from int64 overflow for any simulated timescale.
+	minCalWidth = 1e-9
+)
+
+func newCalQueue() *calQueue {
+	return &calQueue{
+		heads: make([]*event, minCalBuckets),
+		tails: make([]*event, minCalBuckets),
+		mask:  minCalBuckets - 1,
+		width: initCalWidth,
+	}
+}
+
+// evLess is the engine's total event order: time, then scheduling seq.
+func evLess(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (c *calQueue) len() int { return c.n + len(c.overflow) }
+
+func (c *calQueue) push(ev *event) {
+	ev.idx = 0 // mark queued for Timer.Active
+	ev.vb = int64(ev.time / c.width)
+	if c.cache != nil && evLess(ev, c.cache) {
+		c.cache = nil
+	}
+	if ev.vb >= c.posVB+int64(len(c.heads)) {
+		c.ovPushes++
+		c.pushOverflow(ev)
+	} else {
+		if ev.vb < c.posVB {
+			// Defensive: the engine forbids scheduling before now and
+			// floor(t/width) is monotone, so this should be unreachable;
+			// resetting the position keeps the scan invariant (no live
+			// event behind posVB) even if a caller breaks the contract.
+			c.posVB, c.posT = ev.vb, ev.time
+		} else if ev.time < c.posT {
+			// Same virtual bucket as the position but earlier in time
+			// (only possible for contract-breaking callers): keep posT at
+			// or below every live event's time, the anchor resize relies
+			// on to place the rebuilt position behind the population.
+			c.posT = ev.time
+		}
+		c.insertBucket(ev)
+		c.n++
+	}
+	if total := c.len(); total > 2*len(c.heads) && total >= 2*c.resizeAt {
+		c.resize(2 * len(c.heads))
+	}
+}
+
+// insertBucket links ev into its physical bucket in (time, seq) order.
+// The common cases are O(1): an empty bucket, or an event sorting at or
+// after the tail (packet events arrive in roughly increasing time, and
+// same-time events always carry a larger seq, so ties append too).
+func (c *calQueue) insertBucket(ev *event) {
+	i := int(ev.vb & c.mask)
+	ev.next = nil
+	tail := c.tails[i]
+	if tail == nil {
+		c.heads[i], c.tails[i] = ev, ev
+		return
+	}
+	if !evLess(ev, tail) {
+		tail.next = ev
+		c.tails[i] = ev
+		return
+	}
+	h := c.heads[i]
+	if evLess(ev, h) {
+		ev.next = h
+		c.heads[i] = ev
+		return
+	}
+	for h.next != nil && !evLess(ev, h.next) {
+		h = h.next
+	}
+	ev.next = h.next
+	h.next = ev
+}
+
+// pushOverflow inserts ev into the descending-sorted overflow lane.
+// Binary search plus one copy; far-future events are rare by design.
+func (c *calQueue) pushOverflow(ev *event) {
+	ev.next = nil
+	lo, hi := 0, len(c.overflow)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if evLess(c.overflow[mid], ev) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	c.overflow = append(c.overflow, nil)
+	copy(c.overflow[lo+1:], c.overflow[lo:])
+	c.overflow[lo] = ev
+}
+
+// migrate moves overflow events that now fall within one calendar year
+// of the position back into buckets. Called before every scan, so the
+// overflow minimum is always beyond any in-calendar candidate.
+func (c *calQueue) migrate() {
+	horizon := c.posVB + int64(len(c.heads))
+	for n := len(c.overflow); n > 0; n = len(c.overflow) {
+		ev := c.overflow[n-1]
+		if ev.vb >= horizon {
+			return
+		}
+		c.overflow[n-1] = nil
+		c.overflow = c.overflow[:n-1]
+		c.insertBucket(ev)
+		c.n++
+	}
+}
+
+// peek returns the minimum event without removing it, or nil.
+func (c *calQueue) peek() *event {
+	if c.cache != nil {
+		return c.cache
+	}
+	if c.n == 0 && len(c.overflow) == 0 {
+		return nil
+	}
+	c.migrate()
+	if c.n > 2*len(c.heads) && c.n >= 2*c.resizeAt {
+		// A large migration can overload the buckets mid-run.
+		c.resize(2 * len(c.heads))
+	}
+	if c.n > 0 {
+		// Calendar scan: walk virtual buckets from the position. The
+		// first head whose vb matches the scan position is the global
+		// bucket minimum — all events sharing a vb live in one bucket,
+		// sorted, and smaller vb means strictly smaller time.
+		v := c.posVB
+		i := int(v & c.mask)
+		for k := 0; k < len(c.heads); k++ {
+			if h := c.heads[i]; h != nil && h.vb == v {
+				c.cache, c.cacheIdx = h, i
+				return h
+			}
+			v++
+			i = int(int64(i+1) & c.mask)
+		}
+	}
+	// Empty year: direct search over bucket minima and the overflow
+	// tail, then the pop will jump the position to the winner.
+	var best *event
+	bi := -1
+	for i, h := range c.heads {
+		if h != nil && (best == nil || evLess(h, best)) {
+			best, bi = h, i
+		}
+	}
+	if n := len(c.overflow); n > 0 {
+		if ov := c.overflow[n-1]; best == nil || evLess(ov, best) {
+			best, bi = ov, -1
+		}
+	}
+	c.cache, c.cacheIdx = best, bi
+	return best
+}
+
+// pop removes and returns the minimum event, or nil.
+func (c *calQueue) pop() *event {
+	ev := c.peek()
+	if ev == nil {
+		return nil
+	}
+	if i := c.cacheIdx; i >= 0 {
+		c.heads[i] = ev.next
+		if ev.next == nil {
+			c.tails[i] = nil
+		}
+		ev.next = nil
+		c.n--
+	} else {
+		n := len(c.overflow)
+		c.overflow[n-1] = nil
+		c.overflow = c.overflow[:n-1]
+	}
+	c.posVB, c.posT = ev.vb, ev.time
+	c.cache = nil
+	ev.idx = -1
+	if total := c.len(); total < len(c.heads)/2 && total <= c.resizeAt/2 &&
+		len(c.heads) > minCalBuckets {
+		c.resize(len(c.heads) / 2)
+	}
+	return ev
+}
+
+// resize rebuilds the calendar with nb buckets and a width re-derived
+// from the current event spacing, redistributing every live event
+// (bucket residents and overflow). O(n log n) for the width sample
+// sort, amortized away by the doubling thresholds; a steady-state
+// population never resizes at all.
+func (c *calQueue) resize(nb int) {
+	c.resizes++
+	c.cache = nil
+	c.resizeAt = c.len()
+
+	all := c.evScratch[:0]
+	for i, h := range c.heads {
+		for ; h != nil; h = h.next {
+			all = append(all, h)
+		}
+		c.heads[i], c.tails[i] = nil, nil
+	}
+	all = append(all, c.overflow...)
+	c.evScratch = all[:0]
+	for i := range c.overflow {
+		c.overflow[i] = nil
+	}
+	c.overflow = c.overflow[:0]
+
+	c.width = c.newWidth(all)
+	if nb != len(c.heads) {
+		c.heads = make([]*event, nb)
+		c.tails = make([]*event, nb)
+		c.mask = int64(nb - 1)
+	}
+	c.posVB = int64(c.posT / c.width)
+	c.n = 0
+
+	horizon := c.posVB + int64(nb)
+	for _, ev := range all {
+		ev.vb = int64(ev.time / c.width)
+		if ev.vb < c.posVB {
+			// The new width resolved an event to a bucket behind the
+			// rebuilt position (posT sat above its time, or FP rounding
+			// at the anchor). Walk the position back — vb must stay
+			// exactly floor(t/width) or popping this event would carry
+			// the position past later-bucket, earlier-time neighbors.
+			c.posVB, c.posT = ev.vb, ev.time
+		}
+		if ev.vb >= horizon {
+			c.pushOverflow(ev)
+			continue
+		}
+		c.insertBucket(ev)
+		c.n++
+	}
+}
+
+// newWidth estimates a bucket width from the live events: sample up to
+// 64 times, sort, and average the gaps across the middle half of the
+// sample — the median-ish band, so a handful of far-future timers
+// cannot inflate the width the near-future bulk is bucketed with.
+// Aiming at ~4 average gaps per bucket keeps buckets short while the
+// year still spans the population. Returns the current width when the
+// events give no signal (fewer than 2, or all at one instant).
+func (c *calQueue) newWidth(all []*event) float64 {
+	if len(all) < 2 {
+		return c.width
+	}
+	s := c.tScratch[:0]
+	stride := 1
+	if len(all) > 64 {
+		stride = len(all) / 64
+	}
+	for i := 0; i < len(all); i += stride {
+		s = append(s, all[i].time)
+	}
+	c.tScratch = s[:0]
+	sort.Float64s(s)
+	lo, hi := len(s)/4, 3*len(s)/4
+	if hi <= lo {
+		lo, hi = 0, len(s)-1
+	}
+	var sum float64
+	for i := lo; i < hi; i++ {
+		sum += s[i+1] - s[i]
+	}
+	// A sampled gap spans ~stride true gaps, so divide it back out to
+	// target ~4 events per bucket regardless of the sampling rate.
+	w := 4 * sum / float64((hi-lo)*stride)
+	if w < minCalWidth {
+		return c.width // degenerate spacing: keep the current width
+	}
+	return w
+}

@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -24,13 +23,20 @@ import (
 // (fn1 + arg). The second form exists so hot paths can schedule with a
 // long-lived function value and a pointer argument instead of minting a
 // fresh closure per packet (see Engine.AtFunc).
+//
+// The struct doubles as the scheduler's node: idx is the heap slot (or
+// a queued/popped flag for the calendar queue), next links a calendar
+// bucket's sorted list, and vb caches the event's virtual bucket, so no
+// scheduler ever allocates per operation.
 type event struct {
 	time float64
 	seq  uint64 // tie-breaker: preserves scheduling order at equal times
 	fn   func()
 	fn1  func(any)
 	arg  any
-	idx  int
+	idx  int    // heap slot; -1 once popped (Timer.Active reads it)
+	next *event // calendar bucket list link
+	vb   int64  // calendar virtual bucket = floor(time/width)
 	gen  uint64 // bumped every time the event is recycled
 	dead bool
 }
@@ -43,7 +49,9 @@ type Timer struct {
 
 // Cancel prevents the timer's callback from running. Safe to call on a
 // zero Timer or after the event has fired (including after the engine
-// has recycled the underlying event for a later scheduling).
+// has recycled the underlying event for a later scheduling). The event
+// is deleted lazily: it stays queued, still ordered, until the engine
+// pops it and discards it unfired.
 func (t Timer) Cancel() {
 	if t.ev != nil && t.ev.gen == t.gen {
 		t.ev.dead = true
@@ -55,47 +63,19 @@ func (t Timer) Active() bool {
 	return t.ev != nil && t.ev.gen == t.gen && !t.ev.dead && t.ev.idx >= 0
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
-}
-
 // Engine drives virtual time. The zero value is not usable; call NewEngine.
 //
 // An Engine is single-threaded: all scheduling and stepping must happen
 // from one goroutine. Concurrency lives above it (see scenario.RunAll,
 // which runs one private Engine per worker).
 type Engine struct {
-	now    float64
-	seq    uint64
-	events eventHeap
-	nRun   uint64
-	free   []*event // recycled events; a simulation at steady state stops allocating
-	pool   PacketPool
+	now   float64
+	seq   uint64
+	sched scheduler
+	nRun  uint64
+	free  []*event // recycled events; a simulation at steady state stops allocating
+	pool  PacketPool
+	rec   *SchedRecorder // optional operation capture (RecordSched)
 
 	// Event-loop statistics. Plain fields, not atomics: the engine is
 	// single-threaded, so tracking costs a predictable increment per
@@ -103,7 +83,7 @@ type Engine struct {
 	// metrics instead of taxing the hot path.
 	recycleHits uint64 // schedules served from the free list
 	cancelled   uint64 // dead (cancelled) events released unfired
-	heapMax     int    // high-water mark of pending events
+	depthMax    int    // high-water mark of pending events
 }
 
 // maxFreeEvents caps the event free list. A transient burst of events
@@ -112,8 +92,17 @@ type Engine struct {
 // recycled events are dropped for the GC to collect.
 const maxFreeEvents = 8192
 
-// NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an engine with the clock at zero, scheduling on
+// DefaultScheduler (the calendar queue).
+func NewEngine() *Engine { return NewEngineSched(DefaultScheduler) }
+
+// NewEngineSched returns an engine using the given scheduler structure.
+// All kinds order events identically — bit-for-bit equal simulation
+// results — so this exists only for A/B measurement (qabench -sched)
+// and the differential tests.
+func NewEngineSched(kind SchedulerKind) *Engine {
+	return &Engine{sched: newScheduler(kind)}
+}
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
@@ -129,17 +118,24 @@ func (e *Engine) Pool() *PacketPool { return &e.pool }
 // Instrument publishes the engine's event-loop statistics on reg as
 // snapshot-time Func metrics: events scheduled, executed, recycled
 // (free-list hits), cancelled (dead events released unfired), current
-// and peak heap depth. The record path stays the engine's existing
-// plain-field increments — instrumentation adds nothing per event.
-// Snapshots must be synchronized with the engine's goroutine (taken
-// from it, or after the run finishes).
+// and peak scheduler depth, and — when the calendar queue is active —
+// its structure counters (resizes, bucket count, far-future overflow
+// routings). The record path stays the engine's existing plain-field
+// increments — instrumentation adds nothing per event. Snapshots must
+// be synchronized with the engine's goroutine (taken from it, or after
+// the run finishes).
 func (e *Engine) Instrument(reg *metrics.Registry) {
 	reg.CounterFunc("sim.events.scheduled", func() int64 { return int64(e.seq) })
 	reg.CounterFunc("sim.events.executed", func() int64 { return int64(e.nRun) })
 	reg.CounterFunc("sim.events.recycled", func() int64 { return int64(e.recycleHits) })
 	reg.CounterFunc("sim.events.cancelled", func() int64 { return int64(e.cancelled) })
-	reg.GaugeFunc("sim.heap.depth", func() float64 { return float64(len(e.events)) })
-	reg.GaugeFunc("sim.heap.maxdepth", func() float64 { return float64(e.heapMax) })
+	reg.GaugeFunc("sim.sched.depth", func() float64 { return float64(e.sched.len()) })
+	reg.GaugeFunc("sim.sched.maxdepth", func() float64 { return float64(e.depthMax) })
+	if cq, ok := e.sched.(*calQueue); ok {
+		reg.CounterFunc("sim.sched.resizes", func() int64 { return int64(cq.resizes) })
+		reg.CounterFunc("sim.sched.overflow", func() int64 { return int64(cq.ovPushes) })
+		reg.GaugeFunc("sim.sched.buckets", func() float64 { return float64(len(cq.heads)) })
+	}
 	reg.CounterFunc("sim.packets.pooled.gets", func() int64 { return int64(e.pool.Gets) })
 	reg.CounterFunc("sim.packets.pooled.news", func() int64 { return int64(e.pool.News) })
 }
@@ -176,11 +172,24 @@ func (e *Engine) schedule(t float64, fn func(), fn1 func(any), arg any) Timer {
 	} else {
 		ev = &event{time: t, seq: e.seq, fn: fn, fn1: fn1, arg: arg}
 	}
-	heap.Push(&e.events, ev)
-	if len(e.events) > e.heapMax {
-		e.heapMax = len(e.events)
+	if e.rec != nil {
+		e.rec.Ops = append(e.rec.Ops, SchedOp{Kind: SchedPush, Time: t})
+	}
+	e.sched.push(ev)
+	if d := e.sched.len(); d > e.depthMax {
+		e.depthMax = d
 	}
 	return Timer{ev: ev, gen: ev.gen}
+}
+
+// pop dequeues the minimum pending event, recording the operation when
+// a SchedRecorder is attached.
+func (e *Engine) popEvent() *event {
+	ev := e.sched.pop()
+	if ev != nil && e.rec != nil {
+		e.rec.Ops = append(e.rec.Ops, SchedOp{Kind: SchedPop})
+	}
+	return ev
 }
 
 // release recycles a popped event. Bumping the generation invalidates
@@ -213,8 +222,11 @@ func (e *Engine) AfterFunc(d float64, fn func(arg any), arg any) Timer {
 
 // Step runs the next pending event. It reports false when no events remain.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	for {
+		ev := e.popEvent()
+		if ev == nil {
+			return false
+		}
 		if ev.dead {
 			e.cancelled++
 			e.release(ev)
@@ -231,19 +243,20 @@ func (e *Engine) Step() bool {
 		}
 		return true
 	}
-	return false
 }
 
 // RunUntil executes events with time <= t, then advances the clock to t.
-// Dead (cancelled) events encountered at the head of the heap are
+// Dead (cancelled) events encountered at the head of the queue are
 // released even when they lie beyond t, so a burst of cancelled timers
 // ahead of the horizon does not linger across calls.
 func (e *Engine) RunUntil(t float64) {
-	for len(e.events) > 0 {
-		// Peek.
-		ev := e.events[0]
+	for {
+		ev := e.sched.peek()
+		if ev == nil {
+			break
+		}
 		if ev.dead {
-			heap.Pop(&e.events)
+			e.popEvent()
 			e.cancelled++
 			e.release(ev)
 			continue

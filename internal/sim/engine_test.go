@@ -220,8 +220,8 @@ func TestRunUntilReleasesDeadEventsBeyondHorizon(t *testing.T) {
 	}
 	free := len(e.free)
 	e.RunUntil(1) // horizon well before the cancelled batch at t=10
-	if len(e.events) != 0 {
-		t.Fatalf("%d dead events still queued after RunUntil", len(e.events))
+	if e.sched.len() != 0 {
+		t.Fatalf("%d dead events still queued after RunUntil", e.sched.len())
 	}
 	if len(e.free) != free+100 {
 		t.Fatalf("free list grew by %d, want 100", len(e.free)-free)

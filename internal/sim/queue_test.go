@@ -185,6 +185,114 @@ func TestREDQuietQueueDoesNotDrop(t *testing.T) {
 	}
 }
 
+// RED's buffer is the same power-of-two ring DropTail uses: sustained
+// enqueue/dequeue cycles must settle into one backing array with zero
+// steady-state allocations (the old front-reslice kept pinning consumed
+// prefixes and reallocating).
+func TestREDSoakDoesNotGrow(t *testing.T) {
+	// Thresholds high enough that nothing early-drops: the soak
+	// exercises the ring, not the drop path.
+	q := NewRED(REDConfig{LimitBytes: 1 << 20, MeanPktSize: 512, MinThresh: 1e6, MaxThresh: 3e6, Seed: 7})
+	pkts := make([]*Packet, 64)
+	for i := range pkts {
+		pkts[i] = mkPkt(int64(i), 512)
+	}
+	// Warm up: let the ring reach its steady-state capacity.
+	for cycle := 0; cycle < 4; cycle++ {
+		for _, p := range pkts {
+			q.Enqueue(p)
+		}
+		for q.Dequeue() != nil {
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, p := range pkts {
+			if !q.Enqueue(p) {
+				t.Fatal("soak enqueue dropped below thresholds")
+			}
+		}
+		for q.Dequeue() != nil {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("%.1f allocs per 64-packet cycle; RED ring should be alloc-free at steady state", allocs)
+	}
+}
+
+func TestREDFIFOAcrossWraparound(t *testing.T) {
+	q := NewRED(REDConfig{LimitBytes: 1 << 20, MeanPktSize: 512, MinThresh: 1e6, MaxThresh: 3e6, Seed: 7})
+	next := int64(0) // next seq to enqueue
+	want := int64(0) // next seq expected out
+	// Interleave enqueues and dequeues so head walks around the ring.
+	for step := 0; step < 200; step++ {
+		for i := 0; i < 3; i++ {
+			if !q.Enqueue(mkPkt(next, 100)) {
+				t.Fatalf("enqueue %d dropped", next)
+			}
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			p := q.Dequeue()
+			if p == nil || p.Seq != want {
+				t.Fatalf("dequeue got %v, want seq %d", p, want)
+			}
+			want++
+		}
+	}
+	for p := q.Dequeue(); p != nil; p = q.Dequeue() {
+		if p.Seq != want {
+			t.Fatalf("drain got seq %d, want %d", p.Seq, want)
+		}
+		want++
+	}
+	if want != next || q.Bytes() != 0 || q.Len() != 0 {
+		t.Fatalf("drained %d of %d packets, %d bytes left", want, next, q.Bytes())
+	}
+}
+
+// With a virtual clock configured, the queue average must decay across
+// idle periods (Floyd-Jacobson: avg *= (1-wq)^m, m = idle/slot) rather
+// than hold its last busy-period value until the next arrival's single
+// EWMA step.
+func TestREDIdleDecaysAverage(t *testing.T) {
+	now := 0.0
+	clock := func() float64 { return now }
+	// LinkRate 512 B/s -> one 512 B packet slot per second.
+	q := NewRED(REDConfig{LimitBytes: 1 << 20, MeanPktSize: 512, MinThresh: 1e6, MaxThresh: 3e6,
+		Wq: 0.1, Seed: 7, Now: clock, LinkRate: 512})
+	// Build up a nonzero average.
+	for i := 0; i < 50; i++ {
+		q.Enqueue(mkPkt(int64(i), 512))
+	}
+	busy := q.avg
+	if busy <= 0 {
+		t.Fatal("busy queue built no average")
+	}
+	for q.Dequeue() != nil {
+	}
+	// 1000 idle slots: the average must be driven to ~(1-wq)^1000 ~ 0.
+	now = 1000
+	q.Enqueue(mkPkt(99, 512))
+	if q.avg >= busy*1e-9 {
+		t.Fatalf("idle period left avg at %g (busy %g); want Floyd-Jacobson decay", q.avg, busy)
+	}
+
+	// Same queue without a clock: the old EWMA-on-arrival behavior,
+	// one small step toward zero per arrival, no idle decay.
+	q2 := NewRED(REDConfig{LimitBytes: 1 << 20, MeanPktSize: 512, MinThresh: 1e6, MaxThresh: 3e6,
+		Wq: 0.1, Seed: 7})
+	for i := 0; i < 50; i++ {
+		q2.Enqueue(mkPkt(int64(i), 512))
+	}
+	busy2 := q2.avg
+	for q2.Dequeue() != nil {
+	}
+	q2.Enqueue(mkPkt(99, 512))
+	if q2.avg < busy2*(1-0.1)*0.999 {
+		t.Fatalf("clockless RED decayed avg to %g (busy %g); want a single EWMA step", q2.avg, busy2)
+	}
+}
+
 func TestREDHardLimit(t *testing.T) {
 	q := NewRED(REDConfig{LimitBytes: 4 * 512, MeanPktSize: 512, MinThresh: 100, MaxThresh: 300, Seed: 1})
 	fits := 0

@@ -1,11 +1,18 @@
 package sim
 
-import "math/rand"
+import (
+	"math"
+	"math/rand"
+)
 
 // RED is a Random Early Detection queue (Floyd & Jacobson '93), provided
 // as the paper's "future work" bottleneck variant and for the DropTail vs
 // RED ablation bench. Averaging and dropping follow the classic gentle-off
 // algorithm with byte-mode thresholds expressed in packets of MeanPktSize.
+// Packets live in the same power-of-two ring buffer DropTail uses:
+// dequeuing advances the head index instead of reslicing from the front,
+// so a long-lived queue reuses one backing array (alloc-free at steady
+// state) instead of pinning consumed prefixes until the next realloc.
 type RED struct {
 	limit   int // hard byte limit
 	minTh   float64
@@ -15,12 +22,24 @@ type RED struct {
 	meanPkt int
 
 	rng     *rand.Rand
-	pkts    []*Packet
+	ring    []*Packet
+	mask    int // len(ring)-1; ring length is always a power of two
+	head    int // index of the oldest packet
+	count   int
 	bytes   int
 	avg     float64 // average queue length in packets
-	count   int     // packets since last drop
-	idleAt  float64 // virtual time the queue went idle (unused: avg decay on arrival only)
+	pktCnt  int     // packets since last drop
 	dropped int64
+
+	// Idle-period decay (Floyd & Jacobson §2, ns-2's m estimate): while
+	// the queue sits empty the average should keep decaying as if m
+	// small packets had passed, m = idle time / typical transmission
+	// time. now supplies the virtual clock and txTime the per-packet
+	// slot; with no clock configured the estimator falls back to
+	// EWMA-on-arrival only (the pre-clock behavior).
+	now    func() float64
+	txTime float64 // seconds to transmit one MeanPktSize packet
+	idleAt float64 // virtual time the queue went idle
 }
 
 // REDConfig holds RED parameters. Zero fields get classic defaults.
@@ -32,6 +51,14 @@ type REDConfig struct {
 	Wq          float64 // EWMA weight
 	MeanPktSize int     // bytes
 	Seed        int64
+
+	// Now, when non-nil, is the virtual clock (sim: eng.Now) used to
+	// decay the queue average across idle periods per Floyd-Jacobson.
+	// Nil disables idle decay: the average only updates on arrivals.
+	Now func() float64
+	// LinkRate (bytes/s) sizes the idle decay's packet-slot time
+	// (MeanPktSize/LinkRate); required for decay when Now is set.
+	LinkRate float64
 }
 
 // NewRED returns a RED queue.
@@ -54,7 +81,7 @@ func NewRED(cfg REDConfig) *RED {
 	if cfg.Wq <= 0 {
 		cfg.Wq = 0.002
 	}
-	return &RED{
+	q := &RED{
 		limit:   cfg.LimitBytes,
 		minTh:   cfg.MinThresh,
 		maxTh:   cfg.MaxThresh,
@@ -63,12 +90,27 @@ func NewRED(cfg REDConfig) *RED {
 		meanPkt: cfg.MeanPktSize,
 		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
 	}
+	if cfg.Now != nil && cfg.LinkRate > 0 {
+		q.now = cfg.Now
+		q.txTime = float64(cfg.MeanPktSize) / cfg.LinkRate
+		q.idleAt = q.now() // the queue starts empty
+	}
+	return q
 }
 
 // Enqueue implements Queue with early random dropping.
 func (q *RED) Enqueue(p *Packet) bool {
-	qlen := float64(q.bytes) / float64(q.meanPkt)
-	q.avg = (1-q.wq)*q.avg + q.wq*qlen
+	if q.count == 0 && q.now != nil {
+		// Arrival to an idle queue: decay the average as if the idle
+		// period had been m empty packet slots (avg *= (1-wq)^m)
+		// instead of applying a single EWMA step toward zero.
+		if m := (q.now() - q.idleAt) / q.txTime; m > 0 {
+			q.avg *= math.Pow(1-q.wq, m)
+		}
+	} else {
+		qlen := float64(q.bytes) / float64(q.meanPkt)
+		q.avg = (1-q.wq)*q.avg + q.wq*qlen
+	}
 
 	drop := false
 	switch {
@@ -78,42 +120,62 @@ func (q *RED) Enqueue(p *Packet) bool {
 		drop = true
 	case q.avg >= q.minTh:
 		pb := q.maxP * (q.avg - q.minTh) / (q.maxTh - q.minTh)
-		pa := pb / (1 - float64(q.count)*pb)
+		pa := pb / (1 - float64(q.pktCnt)*pb)
 		if pa < 0 || pa > 1 {
 			pa = 1
 		}
 		if q.rng.Float64() < pa {
 			drop = true
 		} else {
-			q.count++
+			q.pktCnt++
 		}
 	default:
-		q.count = 0
+		q.pktCnt = 0
 	}
 	if drop {
 		q.dropped++
-		q.count = 0
+		q.pktCnt = 0
 		return false
 	}
-	q.pkts = append(q.pkts, p)
+	if q.count == len(q.ring) {
+		q.grow()
+	}
+	q.ring[(q.head+q.count)&q.mask] = p
+	q.count++
 	q.bytes += p.Size
 	return true
 }
 
+// grow doubles the ring (always to a power of two), unwrapping the
+// occupied span to the front.
+func (q *RED) grow() {
+	next := make([]*Packet, max(8, 2*len(q.ring)))
+	for i := 0; i < q.count; i++ {
+		next[i] = q.ring[(q.head+i)&q.mask]
+	}
+	q.ring = next
+	q.mask = len(next) - 1
+	q.head = 0
+}
+
 // Dequeue implements Queue.
 func (q *RED) Dequeue() *Packet {
-	if len(q.pkts) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	p := q.pkts[0]
-	q.pkts[0] = nil
-	q.pkts = q.pkts[1:]
+	p := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) & q.mask
+	q.count--
 	q.bytes -= p.Size
+	if q.count == 0 && q.now != nil {
+		q.idleAt = q.now()
+	}
 	return p
 }
 
 // Len implements Queue.
-func (q *RED) Len() int { return len(q.pkts) }
+func (q *RED) Len() int { return q.count }
 
 // Bytes implements Queue.
 func (q *RED) Bytes() int { return q.bytes }

@@ -1,0 +1,162 @@
+package sim
+
+import "container/heap"
+
+// scheduler is the engine's pending-event structure. Implementations
+// must pop events in exactly ascending (time, seq) order — the engine's
+// determinism guarantee — and must mark events with idx >= 0 while
+// queued and idx == -1 once popped (Timer.Active reads it). Cancelled
+// events are deleted lazily: they stay in the structure, still ordered,
+// and the engine discards them at pop.
+type scheduler interface {
+	push(*event)
+	pop() *event
+	peek() *event
+	len() int
+}
+
+// SchedulerKind selects the engine's pending-event structure.
+type SchedulerKind string
+
+const (
+	// SchedCalendar is the default: the self-adapting calendar queue
+	// (O(1) amortized schedule/dequeue, see calqueue.go).
+	SchedCalendar SchedulerKind = "calendar"
+	// SchedHeap is the container/heap binary heap the calendar queue
+	// replaced, kept as the reference implementation: the differential
+	// tests assert the calendar pops in exactly its order, and
+	// qabench -sched / BenchmarkScheduler A/B against it.
+	SchedHeap SchedulerKind = "heap"
+)
+
+// DefaultScheduler is the structure NewEngine uses. Set it once, before
+// any engine is created (qabench -sched does, for A/B runs); both kinds
+// produce bit-for-bit identical simulation results, so flipping it only
+// changes speed.
+var DefaultScheduler = SchedCalendar
+
+func newScheduler(kind SchedulerKind) scheduler {
+	switch kind {
+	case SchedHeap:
+		return &heapSched{}
+	case SchedCalendar, "":
+		return newCalQueue()
+	}
+	panic("sim: unknown scheduler kind " + string(kind))
+}
+
+// eventHeap orders events by time, then scheduling sequence — the
+// reference (time, seq) order every scheduler must reproduce.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// heapSched adapts eventHeap to the scheduler interface.
+type heapSched struct{ h eventHeap }
+
+func (s *heapSched) push(ev *event) { heap.Push(&s.h, ev) }
+func (s *heapSched) pop() *event {
+	if len(s.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&s.h).(*event)
+}
+func (s *heapSched) peek() *event {
+	if len(s.h) == 0 {
+		return nil
+	}
+	return s.h[0]
+}
+func (s *heapSched) len() int { return len(s.h) }
+
+// SchedOpKind tags one recorded event-queue operation.
+type SchedOpKind uint8
+
+const (
+	// SchedPush records a schedule at Time.
+	SchedPush SchedOpKind = iota
+	// SchedPop records a dequeue of the minimum (live or cancelled —
+	// lazy deletion means a cancel never restructures the queue, so the
+	// push/pop stream alone reproduces the structure's full workload).
+	SchedPop
+)
+
+// SchedOp is one recorded scheduler operation.
+type SchedOp struct {
+	Kind SchedOpKind
+	Time float64
+}
+
+// SchedRecorder captures the engine's event-queue operations in
+// execution order, so a real run's churn — its exact interleaving of
+// schedules and dequeues, with the live depth and time deltas that
+// implies — can be replayed against a bare scheduler structure
+// (ReplaySched, BenchmarkScheduler). Attach with Engine.RecordSched
+// before the run; recording costs one append per operation.
+type SchedRecorder struct {
+	Ops []SchedOp
+}
+
+// RecordSched attaches rec to the engine: every subsequent schedule and
+// dequeue appends a SchedOp. Pass nil to stop recording.
+func (e *Engine) RecordSched(rec *SchedRecorder) { e.rec = rec }
+
+// ReplaySched replays a recorded operation stream against a fresh
+// scheduler of the given kind and returns the number of events popped.
+// Events are recycled through a local free list exactly like the
+// engine's, so a replay at steady state exercises only the structure.
+func ReplaySched(kind SchedulerKind, ops []SchedOp) int {
+	s := newScheduler(kind)
+	var seq uint64
+	var free []*event
+	pops := 0
+	for _, op := range ops {
+		switch op.Kind {
+		case SchedPush:
+			seq++
+			var ev *event
+			if n := len(free); n > 0 {
+				ev = free[n-1]
+				free[n-1] = nil
+				free = free[:n-1]
+			} else {
+				ev = &event{}
+			}
+			ev.time, ev.seq = op.Time, seq
+			s.push(ev)
+		case SchedPop:
+			if ev := s.pop(); ev != nil {
+				pops++
+				if len(free) < maxFreeEvents {
+					free = append(free, ev)
+				}
+			}
+		}
+	}
+	return pops
+}

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Runs the headline simulation benchmarks and writes BENCH_PR2.json
+# Runs the headline simulation benchmarks and writes BENCH_PR4.json
 # (ns/op, B/op, allocs/op per benchmark, plus deltas against the
 # recorded pre-pooling baseline). Also archives BENCH_REPORT.json, an
 # instrumented reference-run report (the Figure 11 scenario's full
@@ -9,4 +9,4 @@
 # qabench.
 set -eu
 cd "$(dirname "$0")/.."
-exec go run ./cmd/qabench -out BENCH_PR2.json -report BENCH_REPORT.json "$@"
+exec go run ./cmd/qabench -out BENCH_PR4.json -report BENCH_REPORT.json "$@"
