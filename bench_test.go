@@ -203,6 +203,52 @@ func BenchmarkAblationAllocation(b *testing.B) {
 	}
 }
 
+// BenchmarkFleet measures simulation throughput at population scale: the
+// Fleet preset (half QA, half Sack-TCP on one dumbbell, fair share held
+// constant as the population grows) at 10, 100 and 1000 flows. Each run
+// is instrumented, and the headline numbers are simulated events and
+// bottleneck packets pushed per wall-clock second. The 1000-map variant
+// runs the identical workload on the reference map scoreboards, so the
+// windowed-bitmap speedup is visible as an events/sec and packets/sec
+// ratio on the same line (the dynamics are bit-identical; see
+// scenario.TestFleetDeterministicAcrossWorkersAndSchedulers).
+func BenchmarkFleet(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		flows int
+		board tcp.ScoreboardKind
+	}{
+		{"10", 10, tcp.BoardWindowed},
+		{"100", 100, tcp.BoardWindowed},
+		{"1000", 1000, tcp.BoardWindowed},
+		{"1000-map", 1000, tcp.BoardMap},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := scenario.MustPreset("Fleet",
+				scenario.WithFlows(bc.flows), scenario.WithScale(figures.DefaultScale))
+			cfg.Duration = 5
+			cfg.Board = bc.board
+			var events, packets int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := cfg
+				c.Metrics = metrics.NewRegistry()
+				res, err := scenario.Run(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap := res.Metrics.Snapshot()
+				events += snap.Counters["sim.events.executed"]
+				packets += snap.Counters["link.tx.packets"]
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(events)/sec, "events/sec")
+				b.ReportMetric(float64(packets)/sec, "packets/sec")
+			}
+		})
+	}
+}
+
 // BenchmarkPickLayer measures the per-packet fine-grain allocation cost
 // (the hot path of a streaming server).
 func BenchmarkPickLayer(b *testing.B) {

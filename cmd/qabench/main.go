@@ -5,9 +5,9 @@
 // Usage:
 //
 //	qabench                      # run everything, print JSON to stdout
-//	qabench -out BENCH_PR4.json  # write the report to a file
+//	qabench -out BENCH_PR5.json  # write the report to a file
 //	qabench -quick               # skip the ~2-minute TablesSweep runs
-//	qabench -check BENCH_PR4.json   # fail on alloc/ns regressions vs a recorded report
+//	qabench -check BENCH_PR5.json   # fail on alloc/ns regressions vs a recorded report
 //	qabench -report runs.json    # also write an instrumented reference-run report
 //	qabench -sched heap          # A/B: run everything on the reference binary heap
 //
@@ -34,6 +34,7 @@ import (
 	"qav/internal/metrics"
 	"qav/internal/scenario"
 	"qav/internal/sim"
+	"qav/internal/tcp"
 )
 
 // baseline is the pre-optimization measurement (allocating hot path:
@@ -44,6 +45,9 @@ type measurement struct {
 	NsPerOp     int64 `json:"ns_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Extra carries the benchmark's custom metrics (b.ReportMetric), e.g.
+	// the Fleet benchmarks' events/sec and packets/sec throughput.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type entry struct {
@@ -117,6 +121,37 @@ func main() {
 		}
 	}
 
+	// The Fleet trio measures population-scale throughput (the Fleet
+	// preset holds the per-flow fair share constant as the population
+	// grows). 1000-map runs the identical 1000-flow workload on the
+	// reference map scoreboards; the report pairs it as Fleet/1000's
+	// baseline, so the windowed-bitmap speedup appears as a delta.
+	fleetBench := func(flows int, board tcp.ScoreboardKind) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := scenario.MustPreset("Fleet",
+				scenario.WithFlows(flows), scenario.WithScale(figures.DefaultScale))
+			cfg.Duration = 5
+			cfg.Board = board
+			var events, packets int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := cfg
+				c.Metrics = metrics.NewRegistry()
+				res, err := scenario.Run(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap := res.Metrics.Snapshot()
+				events += snap.Counters["sim.events.executed"]
+				packets += snap.Counters["link.tx.packets"]
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(events)/sec, "events/sec")
+				b.ReportMetric(float64(packets)/sec, "packets/sec")
+			}
+		}
+	}
+
 	benches := []struct {
 		name string
 		long bool
@@ -145,6 +180,9 @@ func main() {
 				}
 			}
 		}},
+		{"Fleet/100", false, fleetBench(100, tcp.BoardWindowed)},
+		{"Fleet/1000-map", true, fleetBench(1000, tcp.BoardMap)},
+		{"Fleet/1000", true, fleetBench(1000, tcp.BoardWindowed)},
 		{"Simulator", false, func(b *testing.B) {
 			// Instrumented: the engine and link publish into a live
 			// registry and the queueing-delay histogram records every
@@ -202,6 +240,12 @@ func main() {
 				AllocsPerOp: r.AllocsPerOp(),
 			},
 		}
+		if len(r.Extra) > 0 {
+			e.Current.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				e.Current.Extra[k] = v
+			}
+		}
 		if base, ok := baselines[bench.name]; ok {
 			b := base
 			e.Baseline = &b
@@ -212,27 +256,32 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, e)
 	}
 
-	// The Scheduler pair is a same-binary A/B: record the heap run as the
-	// calendar's baseline so the report states the structural speedup as
-	// a delta like every other entry.
-	heapIdx := -1
-	for i := range rep.Benchmarks {
-		switch rep.Benchmarks[i].Name {
-		case "Scheduler/heap":
-			heapIdx = i
-		case "Scheduler/calendar":
-			if heapIdx < 0 {
-				break
-			}
-			base := rep.Benchmarks[heapIdx].Current
-			e := &rep.Benchmarks[i]
-			e.Baseline = &base
-			ns := 100 * (float64(e.Current.NsPerOp) - float64(base.NsPerOp)) / float64(base.NsPerOp)
-			e.DeltaNsPct = &ns
-			if base.AllocsPerOp > 0 {
-				al := 100 * (float64(e.Current.AllocsPerOp) - float64(base.AllocsPerOp)) / float64(base.AllocsPerOp)
-				e.DeltaAllocsPct = &al
-			}
+	// Same-binary A/B pairs: record the reference variant's run as the
+	// optimized variant's baseline so the report states the structural
+	// speedup as a delta like every other entry — the heap vs the calendar
+	// queue, and the map vs the windowed TCP scoreboards at 1000 flows.
+	abPairs := [][2]string{
+		{"Scheduler/calendar", "Scheduler/heap"},
+		{"Fleet/1000", "Fleet/1000-map"},
+	}
+	byIdx := make(map[string]int, len(rep.Benchmarks))
+	for i, e := range rep.Benchmarks {
+		byIdx[e.Name] = i
+	}
+	for _, pair := range abPairs {
+		i, ok := byIdx[pair[0]]
+		j, ok2 := byIdx[pair[1]]
+		if !ok || !ok2 {
+			continue
+		}
+		base := rep.Benchmarks[j].Current
+		e := &rep.Benchmarks[i]
+		e.Baseline = &base
+		ns := 100 * (float64(e.Current.NsPerOp) - float64(base.NsPerOp)) / float64(base.NsPerOp)
+		e.DeltaNsPct = &ns
+		if base.AllocsPerOp > 0 {
+			al := 100 * (float64(e.Current.AllocsPerOp) - float64(base.AllocsPerOp)) / float64(base.AllocsPerOp)
+			e.DeltaAllocsPct = &al
 		}
 	}
 

@@ -14,6 +14,17 @@
 // final metric counters, histogram quantiles) for every run; "-" writes
 // it to stdout. Each run gets its own metrics registry, so the report is
 // byte-identical for any -parallel setting.
+//
+// -preset builds the scenario from a named preset instead of the custom
+// flags; explicitly set flags still override the preset's fields:
+//
+//	qasim -preset T2 -dur 120 -report -
+//	qasim -preset Fleet -flows 500 -report fleet.json
+//
+// -flows N selects the Fleet preset (half quality-adaptive flows, half
+// Sack-TCP, capacity and queue scaled so the per-flow fair share is
+// population-invariant) and -traceflows caps per-flow trace series while
+// emitting fleet-wide aggregates; see scenario.Config.MaxTraceFlows.
 package main
 
 import (
@@ -32,6 +43,9 @@ import (
 )
 
 func main() {
+	preset := flag.String("preset", "", "build the scenario from a preset ("+strings.Join(scenario.Presets(), ", ")+"); explicit flags override its fields")
+	flows := flag.Int("flows", 0, "total flow population; implies -preset Fleet when no preset is named")
+	traceFlows := flag.Int("traceflows", -1, "cap per-flow trace series at N flows per class and emit fleet aggregates (0 = legacy full tracing, -1 = preset default)")
 	bw := flag.Float64("bw", 800_000, "bottleneck bandwidth, bytes/s")
 	rtt := flag.Float64("rtt", 0.04, "base round-trip time, seconds")
 	queue := flag.Float64("queue", 0.12, "bottleneck queue, seconds of bandwidth")
@@ -59,6 +73,15 @@ func main() {
 		fatal(err)
 	}
 
+	// Which flags were given explicitly: in preset mode only those
+	// override the preset's fields.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	presetName := *preset
+	if presetName == "" && *flows > 0 {
+		presetName = "Fleet"
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -84,28 +107,79 @@ func main() {
 
 	cfgs := make([]scenario.Config, len(kmaxes))
 	for i, kmax := range kmaxes {
-		cfg := scenario.Config{
-			Name:           fmt.Sprintf("custom(Kmax=%d)", kmax),
-			BottleneckRate: *bw,
-			LinkDelay:      *rtt / 4,
-			AccessDelay:    *rtt / 8,
-			QueueBytes:     int(*bw * *queue),
-			UseRED:         *red,
-			PacketSize:     *pkt,
-			NumTCP:         *ntcp,
-			NumRAP:         *nrap,
-			WithQA:         true,
-			QA: core.Params{
-				C:         *c,
-				Kmax:      kmax,
-				MaxLayers: *maxLayers,
-			},
-			Duration: *dur,
+		var cfg scenario.Config
+		if presetName != "" {
+			opts := []scenario.PresetOption{scenario.WithKmax(kmax)}
+			if *flows > 0 {
+				opts = append(opts, scenario.WithFlows(*flows))
+			}
+			cfg, err = scenario.Preset(presetName, opts...)
+			if err != nil {
+				fatal(err)
+			}
+			// Explicit flags override the preset's fields; untouched
+			// flags keep the preset's values, not the flag defaults.
+			if set["bw"] {
+				cfg.BottleneckRate = *bw
+			}
+			if set["rtt"] {
+				cfg.LinkDelay, cfg.AccessDelay = *rtt/4, *rtt/8
+			}
+			if set["queue"] {
+				cfg.QueueBytes = int(cfg.BottleneckRate * *queue)
+			}
+			if set["red"] {
+				cfg.UseRED = *red
+			}
+			if set["tcp"] {
+				cfg.NumTCP = *ntcp
+			}
+			if set["rap"] {
+				cfg.NumRAP = *nrap
+			}
+			if set["c"] {
+				cfg.QA.C = *c
+			}
+			if set["layers"] {
+				cfg.QA.MaxLayers = *maxLayers
+			}
+			if set["dur"] {
+				cfg.Duration = *dur
+			}
+			if set["pkt"] {
+				cfg.PacketSize = *pkt
+			}
+			if set["cbr"] {
+				cfg.CBRRate = *cbrFrac * cfg.BottleneckRate
+				cfg.CBRStart, cfg.CBRStop = *cbrStart, *cbrStop
+			}
+		} else {
+			cfg = scenario.Config{
+				Name:           fmt.Sprintf("custom(Kmax=%d)", kmax),
+				BottleneckRate: *bw,
+				LinkDelay:      *rtt / 4,
+				AccessDelay:    *rtt / 8,
+				QueueBytes:     int(*bw * *queue),
+				UseRED:         *red,
+				PacketSize:     *pkt,
+				NumTCP:         *ntcp,
+				NumRAP:         *nrap,
+				WithQA:         true,
+				QA: core.Params{
+					C:         *c,
+					Kmax:      kmax,
+					MaxLayers: *maxLayers,
+				},
+				Duration: *dur,
+			}
+			if *cbrFrac > 0 {
+				cfg.CBRRate = *cbrFrac * *bw
+				cfg.CBRStart = *cbrStart
+				cfg.CBRStop = *cbrStop
+			}
 		}
-		if *cbrFrac > 0 {
-			cfg.CBRRate = *cbrFrac * *bw
-			cfg.CBRStart = *cbrStart
-			cfg.CBRStop = *cbrStop
+		if *traceFlows >= 0 {
+			cfg.MaxTraceFlows = *traceFlows
 		}
 		// Normalize here (Run would do it too) so flag mistakes surface
 		// before any simulation starts, with the effective defaults filled
@@ -126,15 +200,22 @@ func main() {
 
 	for i, res := range results {
 		cfg, kmax := cfgs[i], kmaxes[i]
-		fmt.Printf("# %s: bw=%.0fB/s rtt=%.0fms C=%.0fB/s Kmax=%d flows=1QA+%dRAP+%dTCP\n",
-			cfg.Name, cfg.BottleneckRate, 1000*(2*(cfg.LinkDelay+cfg.AccessDelay)), *c, kmax, *nrap, *ntcp)
-		fmt.Printf("# qa: avg_rate=%.0f avg_layers=%.2f played=%.1fs stalls=%.2fs\n",
-			res.Series.Get("qa.rate").Avg(),
-			res.Series.Get("qa.layers").Avg(),
-			res.PlayedSec, res.StallSec)
-		fmt.Printf("# events: adds=%d drops=%d backoffs=%d efficiency=%.2f%% poor-dist=%.1f%%\n",
-			res.Stats.Adds, res.Stats.Drops, res.Stats.Backoffs,
-			100*res.Stats.AvgEfficiency, res.Stats.PoorDistPct)
+		fmt.Printf("# %s: bw=%.0fB/s rtt=%.0fms C=%.0fB/s Kmax=%d flows=%dQA+%dRAP+%dTCP\n",
+			cfg.Name, cfg.BottleneckRate, 1000*(2*(cfg.LinkDelay+cfg.AccessDelay)), cfg.QA.C, kmax, cfg.NumQA, cfg.NumRAP, cfg.NumTCP)
+		if res.QASrc != nil {
+			fmt.Printf("# qa: avg_rate=%.0f avg_layers=%.2f played=%.1fs stalls=%.2fs\n",
+				res.Series.Get("qa.rate").Avg(),
+				res.Series.Get("qa.layers").Avg(),
+				res.PlayedSec, res.StallSec)
+			fmt.Printf("# events: adds=%d drops=%d backoffs=%d efficiency=%.2f%% poor-dist=%.1f%%\n",
+				res.Stats.Adds, res.Stats.Drops, res.Stats.Backoffs,
+				100*res.Stats.AvgEfficiency, res.Stats.PoorDistPct)
+		}
+		if cfg.MaxTraceFlows > 0 {
+			fs := res.Report().Fleet
+			fmt.Printf("# fleet: flows=%d goodput: qa=%.0fB/s rap=%.0fB/s tcp=%.0fB/s jain(tcp)=%.3f\n",
+				fs.Flows, fs.QAGoodputBps, fs.RAPGoodputBps, fs.TCPGoodputBps, fs.JainFairnessTCP)
+		}
 
 		if *events {
 			for _, e := range res.Events {

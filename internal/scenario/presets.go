@@ -12,6 +12,7 @@ import (
 type presetOpts struct {
 	kmax  int
 	scale float64
+	flows int
 }
 
 // PresetOption adjusts a preset's parameters; see WithKmax and
@@ -28,6 +29,12 @@ func WithKmax(k int) PresetOption { return func(o *presetOpts) { o.kmax = k } }
 // presets, whose bottlenecks are fixed by their figures.
 func WithScale(s float64) PresetOption { return func(o *presetOpts) { o.scale = s } }
 
+// WithFlows sets the total flow population of the Fleet preset (half QA
+// flows, half Sack-TCP; default 100). The bottleneck capacity and queue
+// scale with the flow count so each flow's fair share stays constant.
+// Ignored by the fixed-population paper presets.
+func WithFlows(n int) PresetOption { return func(o *presetOpts) { o.flows = n } }
+
 // presets maps preset names to builders. Builders receive validated
 // options and must return a complete config (Run still normalizes it).
 var presets = map[string]func(presetOpts) Config{
@@ -35,6 +42,7 @@ var presets = map[string]func(presetOpts) Config{
 	"T2":        presetT2,
 	"SingleRAP": presetSingleRAP,
 	"SingleQA":  presetSingleQA,
+	"Fleet":     presetFleet,
 }
 
 // Presets returns the available preset names, sorted.
@@ -74,6 +82,9 @@ func Preset(name string, opts ...PresetOption) (Config, error) {
 	}
 	if o.scale <= 0 {
 		return Config{}, fmt.Errorf("scenario: preset %q: scale must be positive, got %v", name, o.scale)
+	}
+	if o.flows < 0 {
+		return Config{}, fmt.Errorf("scenario: preset %q: flows must be >= 0, got %d", name, o.flows)
 	}
 	return build(o), nil
 }
@@ -128,6 +139,43 @@ func presetT2(o presetOpts) Config {
 	cfg.CBRStop = 60
 	cfg.Duration = 90
 	return cfg
+}
+
+// presetFleet is the many-flow workload: half quality-adaptive flows,
+// half Sack-TCP, sharing one dumbbell whose capacity and buffering
+// scale with the population so each flow's fair share (5 KB/s × scale,
+// T1's share) is flow-count-invariant. Per-flow tracing is capped
+// (MaxTraceFlows) and fleet aggregates are emitted, so trace cost does
+// not grow with the population; runs are kept short (30 s) because the
+// event rate scales with the flow count.
+func presetFleet(o presetOpts) Config {
+	flows := o.flows
+	if flows == 0 {
+		flows = 100
+	}
+	nQA := flows / 2
+	nTCP := flows - nQA
+	fair := 5_000.0 * o.scale
+	rate := fair * float64(flows)
+	return Config{
+		Name:           fmt.Sprintf("Fleet(flows=%d,Kmax=%d)", flows, o.kmax),
+		BottleneckRate: rate,
+		LinkDelay:      0.010,
+		AccessDelay:    0.005,
+		QueueBytes:     int(rate * 0.06), // ~1.2 RTT: a tight buffer keeps the fleet probing
+		PacketSize:     512,
+		NumTCP:         nTCP,
+		NumQA:          nQA,
+		QA: core.Params{
+			C:          fair / 4,
+			Kmax:       o.kmax,
+			MaxLayers:  8,
+			StartupSec: 1.0,
+		},
+		Duration:       30,
+		SampleInterval: 0.1,
+		MaxTraceFlows:  4,
+	}
 }
 
 // presetSingleRAP is Fig 1's setup: one RAP flow alone on a small

@@ -20,7 +20,65 @@ type RunReport struct {
 	StallSec   float64          `json:"stall_sec"`
 	MeanLayers float64          `json:"mean_layers"`
 	Drops      trace.DropStats  `json:"drops"`
+	Fleet      FleetStats       `json:"fleet"`
 	Metrics    metrics.Snapshot `json:"metrics"`
+}
+
+// FleetStats summarizes the whole flow population of a run — always
+// emitted, even for the single-QA paper presets, so sweeps over flow
+// counts are machine-diffable from one key. Goodput rates average the
+// cumulative delivered payload over the run duration.
+type FleetStats struct {
+	Flows    int `json:"flows"`
+	QAFlows  int `json:"qa_flows"`
+	RAPFlows int `json:"rap_flows"`
+	TCPFlows int `json:"tcp_flows"`
+
+	QAGoodputBps  float64 `json:"qa_goodput_bps"`
+	RAPGoodputBps float64 `json:"rap_goodput_bps"`
+	TCPGoodputBps float64 `json:"tcp_goodput_bps"`
+
+	// JainFairnessTCP is Jain's index (Σx)²/(n·Σx²) over the TCP flows'
+	// cumulative goodput: 1.0 is a perfectly even split, 1/n a single
+	// flow hogging everything. Zero when the run has no TCP flows.
+	JainFairnessTCP float64 `json:"jain_fairness_tcp"`
+}
+
+// fleetStats computes the population summary from the run's sources.
+func (r *Result) fleetStats() FleetStats {
+	fs := FleetStats{
+		QAFlows:  len(r.QASrcs),
+		RAPFlows: len(r.RAPSrcs),
+		TCPFlows: len(r.TCPSrcs),
+	}
+	fs.Flows = fs.QAFlows + fs.RAPFlows + fs.TCPFlows
+	dur := r.Cfg.Duration
+	if dur <= 0 {
+		return fs
+	}
+	var qa, rapB int64
+	for _, q := range r.QASrcs {
+		qa += q.RecvBytes
+	}
+	for _, rr := range r.RAPSrcs {
+		rapB += rr.RecvBytes
+	}
+	var tcpB int64
+	var sum, sumSq float64
+	for _, t := range r.TCPSrcs {
+		g := t.GoodputBytes()
+		tcpB += g
+		x := float64(g)
+		sum += x
+		sumSq += x * x
+	}
+	fs.QAGoodputBps = float64(qa) / dur
+	fs.RAPGoodputBps = float64(rapB) / dur
+	fs.TCPGoodputBps = float64(tcpB) / dur
+	if sumSq > 0 {
+		fs.JainFairnessTCP = sum * sum / (float64(fs.TCPFlows) * sumSq)
+	}
+	return fs
 }
 
 // Report summarizes the run. The metrics snapshot is taken now, from
@@ -34,6 +92,7 @@ func (r *Result) Report() RunReport {
 		PlayedSec: r.PlayedSec,
 		StallSec:  r.StallSec,
 		Drops:     r.Stats,
+		Fleet:     r.fleetStats(),
 		Metrics:   r.Metrics.Snapshot(),
 	}
 	if r.PlayedSec > 0 {

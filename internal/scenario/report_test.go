@@ -115,10 +115,23 @@ func TestReportContainsAllLayers(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"name", "config", "played_sec", "stall_sec", "mean_layers", "drops", "metrics"} {
+	for _, key := range []string{"name", "config", "played_sec", "stall_sec", "mean_layers", "drops", "fleet", "metrics"} {
 		if _, ok := top[key]; !ok {
 			t.Errorf("report JSON missing top-level key %q", key)
 		}
+	}
+
+	// Fleet stats are always emitted, including for the paper presets:
+	// T1 is 1 QA + 9 RAP + 10 TCP.
+	fs := rep.Fleet
+	if fs.Flows != 20 || fs.QAFlows != 1 || fs.RAPFlows != 9 || fs.TCPFlows != 10 {
+		t.Errorf("T1 fleet counts wrong: %+v", fs)
+	}
+	if fs.QAGoodputBps <= 0 || fs.RAPGoodputBps <= 0 || fs.TCPGoodputBps <= 0 {
+		t.Errorf("fleet goodput aggregates missing: %+v", fs)
+	}
+	if fs.JainFairnessTCP <= 0 || fs.JainFairnessTCP > 1 {
+		t.Errorf("Jain index out of range (0,1]: %v", fs.JainFairnessTCP)
 	}
 }
 

@@ -8,16 +8,47 @@ import (
 )
 
 // startSampler schedules the periodic trace sampler on eng. Sampling is
-// part of the run's dynamics — the QA controller is ticked at every
+// part of the run's dynamics — every QA controller is ticked at every
 // sample so consumption is current — so the sampler must run for every
 // config, and its cadence (cfg.SampleInterval) is part of the result.
 //
 // Series handles and per-layer counters are hoisted out of the closure:
 // resolving fmt.Sprintf names through the set's map on every 0.1 s tick
-// for every layer dominated the sample cost. The counters are sized
-// from the config, so MaxTraceLayers > 16 no longer indexes out of
-// range.
+// for every layer dominated the sample cost. Every series is pre-sized
+// from Duration/SampleInterval, so steady-state sampling appends within
+// capacity and never regrows.
+//
+// Two trace modes (cfg.MaxTraceFlows):
+//
+//   - 0, legacy: the first QA flow gets the full per-layer breakdown and
+//     every RAP flow a rate series — exactly the series set the figures
+//     dump, byte-identical to the pre-fleet sampler.
+//   - N > 0, fleet: per-flow series are capped at N per class (the
+//     first QA flow keeps its full breakdown; further QA flows, RAP and
+//     TCP flows get one rate series each up to the cap) and fleet-wide
+//     aggregates are always emitted: fleet.qa.rate and fleet.rap.rate
+//     (summed transmission rates), fleet.tcp.goodput (aggregate TCP
+//     goodput over the last interval), and fleet.jain.tcp (Jain's
+//     fairness index over cumulative per-flow TCP goodput). Trace cost
+//     stays O(1) in the flow population.
 func startSampler(eng *sim.Engine, net *sim.Dumbbell, cfg Config, res *Result) {
+	// Samples land at 0, Δ, 2Δ, ... while now+Δ <= Duration, plus slack
+	// for the float accumulation at the boundary.
+	reserve := int(cfg.Duration/cfg.SampleInterval) + 2
+	series := func(name string) *trace.Series {
+		s := res.Series.Series(name)
+		s.Reserve(reserve)
+		return s
+	}
+
+	fleet := cfg.MaxTraceFlows > 0
+	capped := func(n int) int {
+		if fleet && n > cfg.MaxTraceFlows {
+			return cfg.MaxTraceFlows
+		}
+		return n
+	}
+
 	type layerSeries struct {
 		buf, share, drain, tx, rx *trace.Series
 	}
@@ -28,74 +59,141 @@ func startSampler(eng *sim.Engine, net *sim.Dumbbell, cfg Config, res *Result) {
 		perLayer                         []layerSeries
 	)
 	if res.QASrc != nil {
-		sRate = res.Series.Series("qa.rate")
-		sCons = res.Series.Series("qa.consumption")
-		sLayers = res.Series.Series("qa.layers")
-		sBufTotal = res.Series.Series("qa.buftotal")
+		sRate = series("qa.rate")
+		sCons = series("qa.consumption")
+		sLayers = series("qa.layers")
+		sBufTotal = series("qa.buftotal")
 		perLayer = make([]layerSeries, cfg.MaxTraceLayers)
 		for l := range perLayer {
 			perLayer[l] = layerSeries{
-				buf:   res.Series.Series(fmt.Sprintf("qa.buf.l%d", l)),
-				share: res.Series.Series(fmt.Sprintf("qa.share.l%d", l)),
-				drain: res.Series.Series(fmt.Sprintf("qa.drain.l%d", l)),
-				tx:    res.Series.Series(fmt.Sprintf("qa.tx.l%d", l)),
-				rx:    res.Series.Series(fmt.Sprintf("qa.rx.l%d", l)),
+				buf:   series(fmt.Sprintf("qa.buf.l%d", l)),
+				share: series(fmt.Sprintf("qa.share.l%d", l)),
+				drain: series(fmt.Sprintf("qa.drain.l%d", l)),
+				tx:    series(fmt.Sprintf("qa.tx.l%d", l)),
+				rx:    series(fmt.Sprintf("qa.rx.l%d", l)),
 			}
 		}
 	}
-	sRap := make([]*trace.Series, len(res.RAPSrcs))
-	for i := range sRap {
-		sRap[i] = res.Series.Series(fmt.Sprintf("rap%d.rate", i))
+	// Rate series for QA flows beyond the first, fleet mode only (the
+	// first flow's rate is qa.rate above).
+	var sQA []*trace.Series
+	if fleet {
+		for i := 1; i < capped(len(res.QASrcs)); i++ {
+			sQA = append(sQA, series(fmt.Sprintf("qa%d.rate", i)))
+		}
 	}
-	sQueue := res.Series.Series("queue.bytes")
+	sRap := make([]*trace.Series, capped(len(res.RAPSrcs)))
+	for i := range sRap {
+		sRap[i] = series(fmt.Sprintf("rap%d.rate", i))
+	}
+	var sTCP []*trace.Series
+	if fleet {
+		sTCP = make([]*trace.Series, capped(len(res.TCPSrcs)))
+		for i := range sTCP {
+			sTCP[i] = series(fmt.Sprintf("tcp%d.rate", i))
+		}
+	}
+	sQueue := series("queue.bytes")
+
+	var sFleetQA, sFleetRap, sFleetTCP, sJain *trace.Series
+	var lastTCPTotal int64
+	var lastGoodput []int64
+	if fleet {
+		sFleetQA = series("fleet.qa.rate")
+		sFleetRap = series("fleet.rap.rate")
+		sFleetTCP = series("fleet.tcp.goodput")
+		sJain = series("fleet.jain.tcp")
+		lastGoodput = make([]int64, len(sTCP))
+	}
 
 	var sample func()
 	sample = func() {
 		now := eng.Now()
-		if res.QASrc != nil {
-			q := res.QASrc
-			// Tick the controller so consumption is current at sample time.
+		for qi, q := range res.QASrcs {
+			// Tick every controller — consumption/playback dynamics —
+			// whether or not the flow is traced.
 			q.Ctrl.Tick(now, q.Snd.Rate(), q.Snd.ConservativeSlope())
-			sRate.Add(now, q.Snd.Rate())
-			sCons.Add(now, q.Ctrl.ConsumptionRate())
-			sLayers.Add(now, float64(q.Ctrl.ActiveLayers()))
-			sBufTotal.Add(now, q.Ctrl.TotalBuf())
-			bufs := q.Ctrl.Buffers()
-			shares := q.Ctrl.Shares()
-			for l := 0; l < cfg.MaxTraceLayers; l++ {
-				var buf, share, drain float64
-				if l < len(bufs) {
-					buf = bufs[l]
-					share = shares[l]
-					if q.Ctrl.Playing() {
-						drain = cfg.QA.C - share
-						if drain < 0 {
-							drain = 0
+			if qi == 0 {
+				sRate.Add(now, q.Snd.Rate())
+				sCons.Add(now, q.Ctrl.ConsumptionRate())
+				sLayers.Add(now, float64(q.Ctrl.ActiveLayers()))
+				sBufTotal.Add(now, q.Ctrl.TotalBuf())
+				bufs := q.Ctrl.Buffers()
+				shares := q.Ctrl.Shares()
+				for l := 0; l < cfg.MaxTraceLayers; l++ {
+					var buf, share, drain float64
+					if l < len(bufs) {
+						buf = bufs[l]
+						share = shares[l]
+						if q.Ctrl.Playing() {
+							drain = cfg.QA.C - share
+							if drain < 0 {
+								drain = 0
+							}
 						}
 					}
+					var sent, delivered int64
+					if l < len(q.SentByLayer) {
+						sent = q.SentByLayer[l]
+					}
+					if l < len(q.DeliveredByLayer) {
+						delivered = q.DeliveredByLayer[l]
+					}
+					txRate := float64(sent-lastSent[l]) / cfg.SampleInterval
+					rxRate := float64(delivered-lastDelivered[l]) / cfg.SampleInterval
+					lastSent[l] = sent
+					lastDelivered[l] = delivered
+					perLayer[l].buf.Add(now, buf)
+					perLayer[l].share.Add(now, share)
+					perLayer[l].drain.Add(now, drain)
+					perLayer[l].tx.Add(now, txRate)
+					perLayer[l].rx.Add(now, rxRate)
 				}
-				var sent, delivered int64
-				if l < len(q.SentByLayer) {
-					sent = q.SentByLayer[l]
-				}
-				if l < len(q.DeliveredByLayer) {
-					delivered = q.DeliveredByLayer[l]
-				}
-				txRate := float64(sent-lastSent[l]) / cfg.SampleInterval
-				rxRate := float64(delivered-lastDelivered[l]) / cfg.SampleInterval
-				lastSent[l] = sent
-				lastDelivered[l] = delivered
-				perLayer[l].buf.Add(now, buf)
-				perLayer[l].share.Add(now, share)
-				perLayer[l].drain.Add(now, drain)
-				perLayer[l].tx.Add(now, txRate)
-				perLayer[l].rx.Add(now, rxRate)
+			} else if qi-1 < len(sQA) {
+				sQA[qi-1].Add(now, q.Snd.Rate())
 			}
 		}
 		for i, r := range res.RAPSrcs {
-			sRap[i].Add(now, r.Snd.Rate())
+			if i < len(sRap) {
+				sRap[i].Add(now, r.Snd.Rate())
+			}
+		}
+		for i, s := range sTCP {
+			good := res.TCPSrcs[i].GoodputBytes()
+			s.Add(now, float64(good-lastGoodput[i])/cfg.SampleInterval)
+			lastGoodput[i] = good
 		}
 		sQueue.Add(now, float64(net.Q.Bytes()))
+		if fleet {
+			qaRate, rapRate := 0.0, 0.0
+			for _, q := range res.QASrcs {
+				qaRate += q.Snd.Rate()
+			}
+			for _, r := range res.RAPSrcs {
+				rapRate += r.Snd.Rate()
+			}
+			sFleetQA.Add(now, qaRate)
+			sFleetRap.Add(now, rapRate)
+			// Aggregate TCP goodput over the last interval, and Jain's
+			// fairness index over cumulative per-flow goodput:
+			// (Σx)² / (n·Σx²) — 1.0 is a perfectly even split.
+			var total int64
+			var sum, sumSq float64
+			for _, t := range res.TCPSrcs {
+				g := t.GoodputBytes()
+				total += g
+				x := float64(g)
+				sum += x
+				sumSq += x * x
+			}
+			sFleetTCP.Add(now, float64(total-lastTCPTotal)/cfg.SampleInterval)
+			lastTCPTotal = total
+			jain := 0.0
+			if sumSq > 0 {
+				jain = sum * sum / (float64(len(res.TCPSrcs)) * sumSq)
+			}
+			sJain.Add(now, jain)
+		}
 		if now+cfg.SampleInterval <= cfg.Duration {
 			eng.After(cfg.SampleInterval, sample)
 		}

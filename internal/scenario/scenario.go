@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 
 	"qav/internal/cbr"
 	"qav/internal/core"
@@ -28,7 +29,8 @@ type Config struct {
 	// Traffic mix.
 	PacketSize   int
 	NumTCP       int
-	NumRAP       int // plain RAP flows (excluding the QA flow)
+	NumRAP       int // plain RAP flows (excluding the QA flows)
+	NumQA        int // QA flows; WithQA is shorthand for NumQA=1
 	WithQA       bool
 	FineGrainRAP bool    // use the RAP variant with fine-grain adaptation
 	CBRRate      float64 // bytes/s; 0 = no CBR source
@@ -42,6 +44,26 @@ type Config struct {
 	Duration       float64
 	SampleInterval float64
 	MaxTraceLayers int // per-layer series recorded (default 4, like Fig 11)
+
+	// MaxTraceFlows selects fleet sampling. 0 (the default) is the
+	// legacy mode: one fully traced QA flow and a rate series per RAP
+	// flow — trace cost grows with the flow population. N > 0 caps the
+	// per-flow series at N flows of each class (qa/rap/tcp rate series)
+	// and emits fleet-wide aggregates (fleet.qa.rate, fleet.rap.rate,
+	// fleet.tcp.goodput, fleet.jain.tcp) so trace cost stays O(1) in
+	// flow count. Aggregates are deliberately absent in legacy mode:
+	// figure TSVs dump every series, and their byte-stability is the
+	// paper-reproduction regression oracle.
+	MaxTraceFlows int
+
+	// Board selects the TCP scoreboard representation (default
+	// windowed). Both kinds produce bit-identical simulations — this
+	// exists for the qabench Fleet A/B pair and differential tests.
+	Board tcp.ScoreboardKind `json:"-"`
+
+	// Sched selects the engine's event-queue structure (default
+	// calendar). All kinds order events identically; see sim.NewEngineSched.
+	Sched sim.SchedulerKind `json:"-"`
 
 	// Metrics, when non-nil, receives the run's instrumentation: engine
 	// event-loop statistics, bottleneck queue counters and queueing-delay
@@ -76,6 +98,14 @@ func (cfg *Config) Normalize() error {
 	if cfg.PacketSize <= 0 {
 		cfg.PacketSize = 512
 	}
+	// WithQA is shorthand for one QA flow; NumQA > 0 implies WithQA so
+	// both spellings normalize to the same effective config.
+	if cfg.WithQA && cfg.NumQA == 0 {
+		cfg.NumQA = 1
+	}
+	if cfg.NumQA > 0 {
+		cfg.WithQA = true
+	}
 	return nil
 }
 
@@ -86,7 +116,8 @@ type Result struct {
 	Events []core.Event
 	Stats  trace.DropStats
 
-	QASrc   *QASource
+	QASrc   *QASource   // the first QA flow (nil without one); the figures' flow
+	QASrcs  []*QASource // all QA flows, fleet runs included
 	RAPSrcs []*RAPSource
 	TCPSrcs []*tcp.Source
 
@@ -111,7 +142,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	eng := sim.NewEngine()
+	eng := sim.NewEngineSched(cfg.Sched)
 	if cfg.SchedRec != nil {
 		eng.RecordSched(cfg.SchedRec)
 	}
@@ -139,37 +170,48 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{Cfg: cfg, Series: trace.NewSet(), Metrics: cfg.Metrics}
 	flowID := 0
 
+	// The QA term is 1 even without a QA flow — the legacy fair-share
+	// seed all paper presets converged from.
+	qaShare := cfg.NumQA
+	if qaShare < 1 {
+		qaShare = 1
+	}
 	rapCfg := func() rap.Config {
 		return rap.Config{
 			PacketSize: cfg.PacketSize,
 			InitialRTT: baseRTT,
 			// Start around one fair share to shorten convergence.
-			InitialRate: cfg.BottleneckRate / float64(1+cfg.NumRAP+cfg.NumTCP),
+			InitialRate: cfg.BottleneckRate / float64(qaShare+cfg.NumRAP+cfg.NumTCP),
 			FineGrain:   cfg.FineGrainRAP,
 		}
 	}
 
-	if cfg.WithQA {
+	for i := 0; i < cfg.NumQA; i++ {
 		ctrl, err := core.NewController(cfg.QA)
 		if err != nil {
 			return nil, err
 		}
-		res.QASrc = NewQASource(eng, net, flowID, rapCfg(), ctrl, 0)
+		// The first QA flow starts at 0 like the paper runs; additional
+		// fleet flows stagger to avoid phase locking.
+		res.QASrcs = append(res.QASrcs, NewQASource(eng, net, flowID, rapCfg(), ctrl, stagger(i, 0.097)))
 		flowID++
+	}
+	if len(res.QASrcs) > 0 {
+		res.QASrc = res.QASrcs[0]
 	}
 	for i := 0; i < cfg.NumRAP; i++ {
 		// Stagger starts slightly to avoid phase locking.
-		start := float64(i) * 0.111
-		res.RAPSrcs = append(res.RAPSrcs, NewRAPSource(eng, net, flowID, rapCfg(), start))
+		res.RAPSrcs = append(res.RAPSrcs, NewRAPSource(eng, net, flowID, rapCfg(), stagger(i, 0.111)))
 		flowID++
 	}
 	for i := 0; i < cfg.NumTCP; i++ {
-		start := 0.05 + float64(i)*0.087
+		start := 0.05 + stagger(i, 0.087)
 		res.TCPSrcs = append(res.TCPSrcs, tcp.NewSource(eng, net, tcp.Config{
 			FlowID:     flowID,
 			PacketSize: cfg.PacketSize,
 			InitialRTT: baseRTT,
 			Start:      start,
+			Board:      cfg.Board,
 		}))
 		flowID++
 	}
@@ -199,6 +241,15 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// stagger spreads flow i's start time over a bounded one-second window.
+// Small populations get the classic linear offsets (i·step stays below
+// the wrap for every paper preset, and math.Mod is exact there), while a
+// fleet of any size finishes ramping up within its first second instead
+// of taking O(flows) seconds to start.
+func stagger(i int, step float64) float64 {
+	return math.Mod(float64(i)*step, 1.0)
+}
+
 // instrument wires every layer of the run into reg: the engine and
 // bottleneck link/queue (with per-flow queueing-delay histograms for the
 // nflows constructed sources), the QA flow's RAP sender and controller
@@ -211,9 +262,15 @@ func instrument(reg *metrics.Registry, net *sim.Dumbbell, res *Result, nflows in
 	}
 	net.Instrument(reg)
 	net.Bneck.InstrumentFlows(reg, nflows)
-	if res.QASrc != nil {
-		res.QASrc.Snd.Instrument(reg, "qa.rap", rap.NewInstruments(reg, "qa.rap"))
-		res.QASrc.Ctrl.Instrument(reg, "qa", core.NewInstruments(reg, "qa"))
+	if len(res.QASrcs) > 0 {
+		// Shared instruments, like rap./tcp. below: counters aggregate
+		// and Func metrics sum across a fleet's QA flows.
+		rapIns := rap.NewInstruments(reg, "qa.rap")
+		coreIns := core.NewInstruments(reg, "qa")
+		for _, q := range res.QASrcs {
+			q.Snd.Instrument(reg, "qa.rap", rapIns)
+			q.Ctrl.Instrument(reg, "qa", coreIns)
+		}
 	}
 	if len(res.RAPSrcs) > 0 {
 		ins := rap.NewInstruments(reg, "rap")

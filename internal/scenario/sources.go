@@ -110,6 +110,9 @@ type QASource struct {
 	DeliveredByLayer []int64
 	// LostPkts counts data packets inferred lost.
 	LostPkts int64
+	// RecvBytes counts payload bytes delivered to the sink (all layers,
+	// plus packets sent with no active layer), for fleet aggregates.
+	RecvBytes int64
 }
 
 // NewQASource creates the quality-adaptive flow. Its controller must be
@@ -159,6 +162,7 @@ func (q *QASource) stepLoop() {
 }
 
 func (q *QASource) recvData(p *sim.Packet) {
+	q.RecvBytes += int64(p.Size)
 	ack := q.eng.Pool().Get()
 	ack.FlowID, ack.Kind, ack.Size, ack.AckSeq = q.flowID, sim.Ack, q.ackSize, p.Seq
 	q.net.SendAck(ack, q.ackSink)

@@ -1,0 +1,499 @@
+// Scoreboard representations for the Sack-TCP model.
+//
+// The sender tracks three per-sequence facts about its outstanding
+// window [highAck, nextSeq): SACKed by the receiver, inferred lost, and
+// retransmitted-awaiting-ack. The sink tracks which sequences above its
+// cumulative ack it has received. Both sides used to keep that state in
+// map[int64]bool; at fleet scale (hundreds of flows, long runs) the maps
+// made the per-packet path O(window) hash work with steady-state
+// allocations, and the sink's map grew without bound: a spurious
+// retransmission arriving below the cumulative ack stayed in the map for
+// the rest of the run and was re-sorted into every subsequent SACK
+// scan.
+//
+// The windowed representation (the default) replaces each map with a
+// ring bitmap whose base slides with the cumulative ack: O(1) amortized
+// per packet, zero steady-state allocations, and memory bounded by the
+// peak window instead of the sequence space. The map implementation is
+// kept as the in-tree reference; TestScoreboardDifferential* and
+// TestTCPDifferentialMapVsWindowed replay randomized loss/reorder/RTO
+// workloads against both and require bit-for-bit identical decisions.
+package tcp
+
+import (
+	"math"
+	"math/bits"
+	"slices"
+
+	"qav/internal/sim"
+)
+
+// ScoreboardKind selects the per-sequence state representation of a TCP
+// source and its sink.
+type ScoreboardKind string
+
+const (
+	// BoardWindowed is the default: ring bitmaps advancing with the
+	// cumulative ack (O(1)/packet, zero steady-state allocations,
+	// window-bounded memory).
+	BoardWindowed ScoreboardKind = "windowed"
+	// BoardMap is the reference map[int64]bool implementation kept for
+	// differential testing and A/B benchmarks (qabench Fleet pair).
+	BoardMap ScoreboardKind = "map"
+)
+
+// DefaultScoreboard is the representation used when Config.Board is
+// empty. Both kinds make identical retransmit/recovery decisions — this
+// exists for A/B measurement and the differential tests.
+var DefaultScoreboard = BoardWindowed
+
+// sendBoard is the sender-side scoreboard. All sequence arguments lie
+// in the current window [lo, hi) = [highAck, nextSeq) except advance,
+// whose range is the newly cumulatively-acknowledged prefix. extend
+// must be called (with the new highest sequence) before state is first
+// touched for that sequence.
+type sendBoard interface {
+	extend(seq int64)             // reserve tracking capacity through seq
+	sacked(seq int64) bool        // SACKed by the receiver
+	markSacked(seq int64)
+	lost(seq int64) bool          // inferred lost (marked for retransmission)
+	markLost(seq int64)           // set lost, clear rtx-out
+	rtxOut(seq int64) bool        // retransmitted, awaiting ack
+	markRtxOut(seq int64)
+	lostCount() int               // number of sequences currently marked lost
+	nextLost(lo, hi int64) (int64, bool) // lowest lost && !rtxOut sequence
+	pipe(lo, hi int64) int        // sent but neither sacked nor (lost && !rtxOut)
+	advance(lo, hi int64)         // cumulative ack moved: reclaim [lo, hi)
+	markAllUnsackedLost(lo, hi int64) // RTO: every unsacked sequence is presumed lost
+	inferLost(lo, hiSacked int64) // SACK loss inference (>= 3 sacked above => lost)
+}
+
+// recvBoard is the sink-side received-sequence tracker.
+type recvBoard interface {
+	add(seq int64)  // a data packet for seq arrived (may advance the cumulative ack)
+	cumack() int64  // first sequence not yet received contiguously
+	// appendSack appends up to three SACK blocks — the highest runs of
+	// received-but-not-cumacked sequences, in ascending order — into
+	// blocks (typically a pooled packet's recycled backing array).
+	appendSack(blocks []sim.SackBlock) []sim.SackBlock
+}
+
+func newSendBoard(kind ScoreboardKind) sendBoard {
+	if kind == BoardMap {
+		return newMapSendBoard()
+	}
+	return newWindowedSendBoard()
+}
+
+func newRecvBoard(kind ScoreboardKind) recvBoard {
+	if kind == BoardMap {
+		return newMapRecvBoard()
+	}
+	return newWindowedRecvBoard()
+}
+
+// ---------------------------------------------------------------------
+// Reference implementation: map[int64]bool, the pre-windowed code moved
+// verbatim behind the interface.
+
+type mapSendBoard struct {
+	sack map[int64]bool
+	loss map[int64]bool
+	rtx  map[int64]bool
+}
+
+func newMapSendBoard() *mapSendBoard {
+	return &mapSendBoard{
+		sack: make(map[int64]bool),
+		loss: make(map[int64]bool),
+		rtx:  make(map[int64]bool),
+	}
+}
+
+func (b *mapSendBoard) extend(int64)            {}
+func (b *mapSendBoard) sacked(seq int64) bool   { return b.sack[seq] }
+func (b *mapSendBoard) markSacked(seq int64)    { b.sack[seq] = true }
+func (b *mapSendBoard) lost(seq int64) bool     { return b.loss[seq] }
+func (b *mapSendBoard) rtxOut(seq int64) bool   { return b.rtx[seq] }
+func (b *mapSendBoard) markRtxOut(seq int64)    { b.rtx[seq] = true }
+func (b *mapSendBoard) lostCount() int          { return len(b.loss) }
+
+func (b *mapSendBoard) markLost(seq int64) {
+	b.loss[seq] = true
+	delete(b.rtx, seq)
+}
+
+func (b *mapSendBoard) nextLost(lo, hi int64) (int64, bool) {
+	best := int64(math.MaxInt64)
+	for seq := range b.loss {
+		if !b.rtx[seq] && seq < best {
+			best = seq
+		}
+	}
+	if best == math.MaxInt64 {
+		return 0, false
+	}
+	return best, true
+}
+
+func (b *mapSendBoard) pipe(lo, hi int64) int {
+	n := 0
+	for seq := lo; seq < hi; seq++ {
+		if b.sack[seq] || (b.loss[seq] && !b.rtx[seq]) {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+func (b *mapSendBoard) advance(lo, hi int64) {
+	for seq := lo; seq < hi; seq++ {
+		delete(b.sack, seq)
+		delete(b.loss, seq)
+		delete(b.rtx, seq)
+	}
+}
+
+func (b *mapSendBoard) markAllUnsackedLost(lo, hi int64) {
+	for seq := lo; seq < hi; seq++ {
+		if !b.sack[seq] {
+			b.loss[seq] = true
+			delete(b.rtx, seq)
+		}
+	}
+}
+
+// inferLost is the simplified IsLost() rule: an unsacked hole with at
+// least three sacked sequences above it (up to hiSacked, inclusive) is
+// lost.
+func (b *mapSendBoard) inferLost(lo, hiSacked int64) {
+	for seq := lo; seq < hiSacked; seq++ {
+		if b.sack[seq] || b.loss[seq] {
+			continue
+		}
+		above := 0
+		for q := seq + 1; q <= hiSacked && above < 3; q++ {
+			if b.sack[q] {
+				above++
+			}
+		}
+		if above >= 3 {
+			b.loss[seq] = true
+			delete(b.rtx, seq)
+		}
+	}
+}
+
+type mapRecvBoard struct {
+	received map[int64]bool
+	cum      int64
+	seqs     []int64 // scratch for appendSack
+}
+
+func newMapRecvBoard() *mapRecvBoard {
+	return &mapRecvBoard{received: make(map[int64]bool)}
+}
+
+func (b *mapRecvBoard) cumack() int64 { return b.cum }
+
+func (b *mapRecvBoard) add(seq int64) {
+	b.received[seq] = true
+	for b.received[b.cum] {
+		delete(b.received, b.cum)
+		b.cum++
+	}
+}
+
+func (b *mapRecvBoard) appendSack(blocks []sim.SackBlock) []sim.SackBlock {
+	if len(b.received) == 0 {
+		return blocks[:0]
+	}
+	seqs := b.seqs[:0]
+	for s := range b.received {
+		seqs = append(seqs, s)
+	}
+	b.seqs = seqs
+	slices.Sort(seqs)
+	start, prev := seqs[0], seqs[0]
+	for _, s := range seqs[1:] {
+		if s == prev+1 {
+			prev = s
+			continue
+		}
+		blocks = append(blocks, sim.SackBlock{Start: start, End: prev + 1})
+		start, prev = s, s
+	}
+	blocks = append(blocks, sim.SackBlock{Start: start, End: prev + 1})
+	// Most recent (highest) blocks are the most useful; cap at 3. Copy
+	// down instead of reslicing so the backing array's head is kept for
+	// reuse by the packet pool.
+	if len(blocks) > 3 {
+		n := copy(blocks, blocks[len(blocks)-3:])
+		blocks = blocks[:n]
+	}
+	return blocks
+}
+
+// ---------------------------------------------------------------------
+// Windowed implementation: ring bitmaps sliding with the cumulative ack.
+//
+// A seqBits maps sequence seq to bit (seq & mask) of a power-of-two bit
+// array. As long as every live sequence lies within one window of
+// capacity sequences, distinct live sequences occupy distinct bits; the
+// board grows the rings (rare, amortized) whenever the window would
+// exceed capacity, and clears bits as the base advances, so a bit read
+// for an in-window sequence is never stale.
+
+// minRingSeqs is the initial ring capacity in sequences. Generous
+// enough that ordinary single-flow windows never grow the rings
+// mid-measurement (the TestAllocFree* budgets include loss recovery).
+const minRingSeqs = 256
+
+type seqBits struct {
+	words []uint64
+	mask  int64 // capacity-1; capacity = len(words)*64, a power of two
+}
+
+func newSeqBits(capSeqs int64) seqBits {
+	return seqBits{words: make([]uint64, capSeqs/64), mask: capSeqs - 1}
+}
+
+func (b *seqBits) get(seq int64) bool {
+	i := seq & b.mask
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+func (b *seqBits) set(seq int64) {
+	i := seq & b.mask
+	b.words[i>>6] |= 1 << uint(i&63)
+}
+
+func (b *seqBits) clear(seq int64) {
+	i := seq & b.mask
+	b.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// grow doubles (at least) the capacity to hold newCap sequences and
+// re-places the live bits of [lo, hi).
+func (b *seqBits) grow(newCap int64, lo, hi int64) {
+	old := *b
+	for int64(len(b.words))*64 < newCap {
+		n := int64(len(b.words)) * 2 * 64
+		b.words = make([]uint64, n/64)
+		b.mask = n - 1
+	}
+	for seq := lo; seq < hi; seq++ {
+		if old.get(seq) {
+			b.set(seq)
+		}
+	}
+}
+
+// span is one word-aligned chunk of a sequence range in ring bit space:
+// bits [off, off+n) of words[w] cover sequences [seq, seq+n).
+type span struct {
+	w    int
+	off  uint
+	n    int64
+	seq  int64
+	mask uint64 // n bits starting at off
+}
+
+// spans iterates [lo, hi) chunk by chunk. Each chunk lies within one
+// word, so callers do word-parallel bit work; the ring wrap is absorbed
+// by recomputing the index per chunk.
+func ringSpans(lo, hi, mask int64, visit func(sp span) bool) {
+	for seq := lo; seq < hi; {
+		i := seq & mask
+		off := uint(i & 63)
+		n := int64(64) - int64(off)
+		if rem := hi - seq; n > rem {
+			n = rem
+		}
+		m := ^uint64(0) >> (64 - uint(n)) << off
+		if !visit(span{w: int(i >> 6), off: off, n: n, seq: seq, mask: m}) {
+			return
+		}
+		seq += n
+	}
+}
+
+type windowedSendBoard struct {
+	sack seqBits
+	loss seqBits
+	rtx  seqBits
+
+	base  int64 // lowest tracked sequence (the cumulative ack)
+	high  int64 // one past the highest sequence ever extended to
+	nLost int
+}
+
+func newWindowedSendBoard() *windowedSendBoard {
+	return &windowedSendBoard{
+		sack: newSeqBits(minRingSeqs),
+		loss: newSeqBits(minRingSeqs),
+		rtx:  newSeqBits(minRingSeqs),
+	}
+}
+
+func (b *windowedSendBoard) extend(seq int64) {
+	if seq < b.high {
+		return
+	}
+	// Grow before moving high: re-placement must read only live bits of
+	// the old window [base, high) — the new sequence's slot may alias a
+	// live bit in the old (smaller) ring.
+	if need := seq + 1 - b.base; need > b.sack.mask+1 {
+		b.sack.grow(need, b.base, b.high)
+		b.loss.grow(need, b.base, b.high)
+		b.rtx.grow(need, b.base, b.high)
+	}
+	b.high = seq + 1
+}
+
+func (b *windowedSendBoard) sacked(seq int64) bool { return b.sack.get(seq) }
+func (b *windowedSendBoard) markSacked(seq int64)  { b.sack.set(seq) }
+func (b *windowedSendBoard) lost(seq int64) bool   { return b.loss.get(seq) }
+func (b *windowedSendBoard) rtxOut(seq int64) bool { return b.rtx.get(seq) }
+func (b *windowedSendBoard) markRtxOut(seq int64)  { b.rtx.set(seq) }
+func (b *windowedSendBoard) lostCount() int        { return b.nLost }
+
+func (b *windowedSendBoard) markLost(seq int64) {
+	if !b.loss.get(seq) {
+		b.loss.set(seq)
+		b.nLost++
+	}
+	b.rtx.clear(seq)
+}
+
+func (b *windowedSendBoard) nextLost(lo, hi int64) (int64, bool) {
+	found, at := false, int64(0)
+	ringSpans(lo, hi, b.loss.mask, func(sp span) bool {
+		if w := b.loss.words[sp.w] &^ b.rtx.words[sp.w] & sp.mask; w != 0 {
+			at = sp.seq + int64(bits.TrailingZeros64(w)) - int64(sp.off)
+			found = true
+			return false
+		}
+		return true
+	})
+	return at, found
+}
+
+func (b *windowedSendBoard) pipe(lo, hi int64) int {
+	excluded := 0
+	ringSpans(lo, hi, b.sack.mask, func(sp span) bool {
+		w := (b.sack.words[sp.w] | (b.loss.words[sp.w] &^ b.rtx.words[sp.w])) & sp.mask
+		excluded += bits.OnesCount64(w)
+		return true
+	})
+	return int(hi-lo) - excluded
+}
+
+func (b *windowedSendBoard) advance(lo, hi int64) {
+	ringSpans(lo, hi, b.sack.mask, func(sp span) bool {
+		b.nLost -= bits.OnesCount64(b.loss.words[sp.w] & sp.mask)
+		b.sack.words[sp.w] &^= sp.mask
+		b.loss.words[sp.w] &^= sp.mask
+		b.rtx.words[sp.w] &^= sp.mask
+		return true
+	})
+	b.base = hi
+	if b.high < b.base {
+		b.high = b.base
+	}
+}
+
+func (b *windowedSendBoard) markAllUnsackedLost(lo, hi int64) {
+	ringSpans(lo, hi, b.sack.mask, func(sp span) bool {
+		unsacked := ^b.sack.words[sp.w] & sp.mask
+		b.nLost += bits.OnesCount64(unsacked &^ b.loss.words[sp.w])
+		b.loss.words[sp.w] |= unsacked
+		b.rtx.words[sp.w] &^= unsacked
+		return true
+	})
+}
+
+// inferLost walks down from the highest SACKed sequence keeping a count
+// of sacked sequences strictly above the cursor; any unsacked,
+// not-yet-lost hole with three or more above it is marked lost. This is
+// a single O(window) pass equivalent to the reference's per-hole scan:
+// the sacked set does not change during inference, so "three sacked
+// above" is a property of the position alone.
+func (b *windowedSendBoard) inferLost(lo, hiSacked int64) {
+	above := 0
+	if b.sack.get(hiSacked) {
+		above = 1
+	}
+	for seq := hiSacked - 1; seq >= lo; seq-- {
+		if b.sack.get(seq) {
+			above++
+			continue
+		}
+		if above >= 3 && !b.loss.get(seq) {
+			b.markLost(seq)
+		}
+	}
+}
+
+type windowedRecvBoard struct {
+	bits seqBits
+	cum  int64 // cumulative ack: everything below is received and reclaimed
+	high int64 // one past the highest received sequence
+}
+
+func newWindowedRecvBoard() *windowedRecvBoard {
+	return &windowedRecvBoard{bits: newSeqBits(minRingSeqs)}
+}
+
+func (b *windowedRecvBoard) cumack() int64 { return b.cum }
+
+func (b *windowedRecvBoard) add(seq int64) {
+	if seq < b.cum {
+		// Spurious (already cumulatively acknowledged) retransmission.
+		// The map reference kept these forever — the unbounded-memory
+		// bug this representation fixes; they carry no information the
+		// sender can use, so they are dropped here.
+		return
+	}
+	if seq >= b.high {
+		// Grow before moving high (see windowedSendBoard.extend).
+		if need := seq + 1 - b.cum; need > b.bits.mask+1 {
+			b.bits.grow(need, b.cum, b.high)
+		}
+		b.high = seq + 1
+	}
+	b.bits.set(seq)
+	for b.cum < b.high && b.bits.get(b.cum) {
+		b.bits.clear(b.cum)
+		b.cum++
+	}
+}
+
+// appendSack scans down from the highest received sequence collecting
+// the three highest runs, then emits them in ascending order — the same
+// blocks the reference produces for sequences above the cumulative ack.
+func (b *windowedRecvBoard) appendSack(blocks []sim.SackBlock) []sim.SackBlock {
+	blocks = blocks[:0]
+	var found [3]sim.SackBlock
+	n := 0
+	seq := b.high - 1
+	for n < 3 && seq >= b.cum {
+		for seq >= b.cum && !b.bits.get(seq) {
+			seq--
+		}
+		if seq < b.cum {
+			break
+		}
+		end := seq + 1
+		for seq >= b.cum && b.bits.get(seq) {
+			seq--
+		}
+		found[n] = sim.SackBlock{Start: seq + 1, End: end}
+		n++
+	}
+	for i := n - 1; i >= 0; i-- {
+		blocks = append(blocks, found[i])
+	}
+	return blocks
+}

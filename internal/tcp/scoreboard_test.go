@@ -1,0 +1,419 @@
+package tcp
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"qav/internal/sim"
+)
+
+// diffSendBoards compares every externally observable fact of two
+// boards over the window [lo, hi), returning a description of the first
+// mismatch ("" when identical).
+func diffSendBoards(ref, win sendBoard, lo, hi int64) string {
+	if r, w := ref.lostCount(), win.lostCount(); r != w {
+		return fmt.Sprintf("lostCount ref=%d win=%d", r, w)
+	}
+	if r, w := ref.pipe(lo, hi), win.pipe(lo, hi); r != w {
+		return fmt.Sprintf("pipe ref=%d win=%d", r, w)
+	}
+	rs, rok := ref.nextLost(lo, hi)
+	ws, wok := win.nextLost(lo, hi)
+	if rs != ws || rok != wok {
+		return fmt.Sprintf("nextLost ref=%d,%v win=%d,%v", rs, rok, ws, wok)
+	}
+	for q := lo; q < hi; q++ {
+		if r, w := ref.sacked(q), win.sacked(q); r != w {
+			return fmt.Sprintf("sacked(%d) ref=%v win=%v", q, r, w)
+		}
+		if r, w := ref.lost(q), win.lost(q); r != w {
+			return fmt.Sprintf("lost(%d) ref=%v win=%v", q, r, w)
+		}
+		if r, w := ref.rtxOut(q), win.rtxOut(q); r != w {
+			return fmt.Sprintf("rtxOut(%d) ref=%v win=%v", q, r, w)
+		}
+	}
+	return ""
+}
+
+// TestScoreboardDifferentialRandom drives the map reference and the
+// windowed implementation through >= 10k randomized operation traces —
+// sends, SACKs, loss inference, retransmissions, cumack advances, and
+// RTO storms — asserting identical observable state after every step.
+func TestScoreboardDifferentialRandom(t *testing.T) {
+	iters := 10_000
+	if testing.Short() {
+		iters = 500
+	}
+	for it := 0; it < iters; it++ {
+		rng := rand.New(rand.NewSource(int64(it)))
+		ref, win := newMapSendBoard(), newWindowedSendBoard()
+		lo, hi := int64(0), int64(0) // [highAck, nextSeq)
+		steps := 40 + rng.Intn(160)
+		// A few traces use windows wide enough to force ring growth.
+		wide := it%97 == 0
+		for op := 0; op < steps; op++ {
+			switch k := rng.Intn(10); {
+			case k < 3: // send new data
+				n := int64(1 + rng.Intn(8))
+				if wide {
+					n += int64(rng.Intn(300))
+				}
+				for i := int64(0); i < n; i++ {
+					ref.extend(hi)
+					win.extend(hi)
+					hi++
+				}
+			case k < 5: // SACK arrival + loss inference
+				if hi == lo {
+					continue
+				}
+				hs := int64(-1)
+				for i := 0; i < 1+rng.Intn(6); i++ {
+					seq := lo + rng.Int63n(hi-lo)
+					ref.markSacked(seq)
+					win.markSacked(seq)
+					if seq > hs {
+						hs = seq
+					}
+				}
+				ref.inferLost(lo, hs)
+				win.inferLost(lo, hs)
+			case k < 6: // retransmit the next lost hole
+				rs, rok := ref.nextLost(lo, hi)
+				ws, wok := win.nextLost(lo, hi)
+				if rs != ws || rok != wok {
+					t.Fatalf("iter %d step %d: nextLost ref=%d,%v win=%d,%v", it, op, rs, rok, ws, wok)
+				}
+				if rok {
+					ref.markRtxOut(rs)
+					win.markRtxOut(ws)
+				}
+			case k < 7: // triple-dupack fallback: first hole is lost
+				if hi > lo {
+					ref.markLost(lo)
+					win.markLost(lo)
+				}
+			case k < 9: // cumulative ack advances
+				if hi == lo {
+					continue
+				}
+				to := lo + 1 + rng.Int63n(hi-lo)
+				ref.advance(lo, to)
+				win.advance(lo, to)
+				lo = to
+			default: // RTO: everything unsacked is lost
+				ref.markAllUnsackedLost(lo, hi)
+				win.markAllUnsackedLost(lo, hi)
+			}
+			if d := diffSendBoards(ref, win, lo, hi); d != "" {
+				t.Fatalf("iter %d step %d window [%d,%d): %s", it, op, lo, hi, d)
+			}
+		}
+	}
+}
+
+// TestRecvBoardDifferential feeds both receiver boards randomized
+// arrival orders with duplicates, reordering, and stale (already
+// cumacked) retransmissions. Cumulative acks must match exactly; SACK
+// blocks must match once the reference's blocks are filtered to the
+// live window — the map reference reports stale below-cumack runs
+// (the unbounded-growth bug) which the sender provably ignores, while
+// the windowed board drops them at arrival.
+func TestRecvBoardDifferential(t *testing.T) {
+	iters := 10_000
+	if testing.Short() {
+		iters = 500
+	}
+	for it := 0; it < iters; it++ {
+		rng := rand.New(rand.NewSource(int64(^it)))
+		ref, win := newMapRecvBoard(), newWindowedRecvBoard()
+		var next int64 // highest sequence "sent" so far
+		for op := 0; op < 60+rng.Intn(100); op++ {
+			var seq int64
+			switch k := rng.Intn(10); {
+			case k < 6: // in-order-ish new data (may skip = loss)
+				next += int64(rng.Intn(3)) // 0 = dup of last, 2 = gap
+				seq = next
+				if it%53 == 0 {
+					next += int64(rng.Intn(400)) // force ring growth
+				}
+			case k < 9: // retransmission of something in the recent window
+				back := rng.Int63n(40) + 1
+				seq = next - back
+				if seq < 0 {
+					seq = 0
+				}
+			default: // stale spurious retransmission, possibly far below
+				seq = rng.Int63n(max64(ref.cumack(), 1))
+			}
+			ref.add(seq)
+			win.add(seq)
+			if ref.cumack() != win.cumack() {
+				t.Fatalf("iter %d: cumack ref=%d win=%d after add(%d)", it, ref.cumack(), win.cumack(), seq)
+			}
+			rb := filterBlocks(ref.appendSack(nil), ref.cumack())
+			wb := win.appendSack(nil)
+			if len(rb) != len(wb) {
+				t.Fatalf("iter %d: blocks ref=%+v win=%+v (cum=%d)", it, rb, wb, ref.cumack())
+			}
+			for i := range rb {
+				if rb[i] != wb[i] {
+					t.Fatalf("iter %d: block %d ref=%+v win=%+v", it, i, rb[i], wb[i])
+				}
+			}
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func filterBlocks(blocks []sim.SackBlock, cum int64) []sim.SackBlock {
+	out := blocks[:0]
+	for _, b := range blocks {
+		if b.Start >= cum {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// txRecord is one transmit decision observed through testTxHook.
+type txRecord struct {
+	t    float64
+	seq  int64
+	retx bool
+}
+
+func runDifferentialScenario(kind ScoreboardKind, rate float64, queueBytes int, flows int, dur float64) ([][]txRecord, []string) {
+	eng := sim.NewEngine()
+	net := sim.NewDumbbell(eng, sim.DumbbellConfig{
+		Rate: rate, Delay: 0.01, AccessDelay: 0.005, QueueBytes: queueBytes,
+	})
+	traces := make([][]txRecord, flows)
+	stats := make([]string, flows)
+	srcs := make([]*Source, flows)
+	for i := 0; i < flows; i++ {
+		s := NewSource(eng, net, Config{
+			FlowID: i, PacketSize: 512, InitialRTT: net.BaseRTT(),
+			Start: float64(i) * 0.037, Board: kind,
+		})
+		i := i
+		s.testTxHook = func(seq int64, retx bool) {
+			traces[i] = append(traces[i], txRecord{t: eng.Now(), seq: seq, retx: retx})
+		}
+		srcs[i] = s
+	}
+	eng.RunUntil(dur)
+	for i, s := range srcs {
+		stats[i] = fmt.Sprintf("sent=%d retx=%d acked=%d rto=%d fr=%d cwnd=%.6f",
+			s.SentPkts, s.RetransPkts, s.AckedPkts, s.Timeouts, s.FastRecover, s.Cwnd())
+	}
+	return traces, stats
+}
+
+// TestTCPDifferentialMapVsWindowed runs whole lossy simulations twice —
+// map scoreboard vs windowed — and requires the transmit decision
+// streams (every sequence, timestamp, and retransmit flag) and final
+// stats to be bit-for-bit identical. Covers RTO-heavy (tiny queue),
+// fast-recovery (medium queue), multi-flow contention, and a
+// large-window regime that forces ring growth.
+func TestTCPDifferentialMapVsWindowed(t *testing.T) {
+	cases := []struct {
+		name       string
+		rate       float64
+		queueBytes int
+		flows      int
+		dur        float64
+	}{
+		{"rto-heavy", 30_000, 4 * 512, 1, 40},
+		{"fast-recovery", 50_000, 16 * 512, 1, 40},
+		{"contended", 50_000, 12 * 512, 4, 30},
+		{"large-window", 4_000_000, 600 * 512, 1, 20},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mt, ms := runDifferentialScenario(BoardMap, tc.rate, tc.queueBytes, tc.flows, tc.dur)
+			wt, ws := runDifferentialScenario(BoardWindowed, tc.rate, tc.queueBytes, tc.flows, tc.dur)
+			for i := range ms {
+				if ms[i] != ws[i] {
+					t.Errorf("flow %d stats differ:\nmap      %s\nwindowed %s", i, ms[i], ws[i])
+				}
+				if len(mt[i]) != len(wt[i]) {
+					t.Fatalf("flow %d: %d transmissions under map, %d under windowed", i, len(mt[i]), len(wt[i]))
+				}
+				for j := range mt[i] {
+					if mt[i][j] != wt[i][j] {
+						t.Fatalf("flow %d tx %d differs: map %+v windowed %+v", i, j, mt[i][j], wt[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// lossyTCPRig builds a tiny-queue dumbbell with two competing TCP
+// flows so losses (including RTOs) are plentiful.
+func lossyTCPRig() (*sim.Engine, []*Source) {
+	eng := sim.NewEngine()
+	net := sim.NewDumbbell(eng, sim.DumbbellConfig{
+		Rate: 30_000, Delay: 0.01, AccessDelay: 0.005, QueueBytes: 4 * 512,
+	})
+	srcs := make([]*Source, 2)
+	for i := range srcs {
+		srcs[i] = NewSource(eng, net, Config{
+			FlowID: i, PacketSize: 512, InitialRTT: net.BaseRTT(), Start: float64(i) * 0.05,
+		})
+	}
+	return eng, srcs
+}
+
+// TestAllocFreeSteadyStateTCPUnderLoss extends the TestAlloc* suite to
+// TCP with active loss recovery: after warmup, continued lossy
+// simulation must allocate nothing — the windowed scoreboards do all
+// SACK/loss/retransmit bookkeeping in preallocated rings.
+func TestAllocFreeSteadyStateTCPUnderLoss(t *testing.T) {
+	eng, srcs := lossyTCPRig()
+	eng.RunUntil(30) // warm: pools filled, rings sized, RTO machinery exercised
+	retxBefore := srcs[0].RetransPkts + srcs[1].RetransPkts
+	next := 30.0
+	avg := testing.AllocsPerRun(50, func() {
+		next += 0.5
+		eng.RunUntil(next)
+	})
+	if avg != 0 {
+		t.Fatalf("lossy TCP steady state allocates %.1f allocs per 0.5s slice, want 0", avg)
+	}
+	if retxAfter := srcs[0].RetransPkts + srcs[1].RetransPkts; retxAfter == retxBefore {
+		t.Fatal("no retransmissions during the measured window — loss path not exercised")
+	}
+}
+
+type nullReceiver struct{}
+
+func (nullReceiver) Recv(*sim.Packet) {}
+
+// spuriousRTORig is engineered to produce spurious retransmissions —
+// the trigger for the historical sink.received leak. A deep queue plus
+// a periodic instantaneous 80-packet burst adds a ~1.4s delay step that
+// stalls the ACK clock past the (idle-state) RTO; the timeout
+// retransmits packets that were merely queued, the originals then
+// advance the cumulative ack, and the retransmissions arrive at the
+// sink below it.
+func spuriousRTORig(kind ScoreboardKind) (*sim.Engine, *Source) {
+	eng := sim.NewEngine()
+	net := sim.NewDumbbell(eng, sim.DumbbellConfig{
+		Rate: 30_000, Delay: 0.01, AccessDelay: 0.005, QueueBytes: 120 * 512,
+	})
+	s := NewSource(eng, net, Config{
+		FlowID: 0, PacketSize: 512, InitialRTT: net.BaseRTT(), Board: kind,
+	})
+	var burst func()
+	burst = func() {
+		for i := 0; i < 80; i++ {
+			p := eng.Pool().Get()
+			p.FlowID, p.Seq, p.Size, p.Kind = 99, 0, 512, sim.Data
+			net.SendData(p, nullReceiver{})
+		}
+		eng.After(4, burst)
+	}
+	eng.At(1.0, burst)
+	return eng, s
+}
+
+// TestTCPMemoryBoundedUnderLoss is the long-run regression test for the
+// sink.received leak (tcp.go:310 in the map era): heap usage between
+// two checkpoints of a lossy, spurious-RTO-heavy run must stay flat.
+// Before the windowed scoreboard, every retransmission arriving below
+// the receiver's cumulative ack stayed in the received map forever.
+func TestTCPMemoryBoundedUnderLoss(t *testing.T) {
+	eng, src := spuriousRTORig(BoardWindowed)
+	eng.RunUntil(60) // settle pools, rings, and the event free list
+
+	heap := func() uint64 {
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return m.HeapAlloc
+	}
+	before := heap()
+	eng.RunUntil(660) // 600 further simulated seconds of lossy traffic
+	after := heap()
+
+	if src.RetransPkts == 0 || src.Timeouts == 0 {
+		t.Fatalf("run not lossy enough to regress the leak (retx=%d rto=%d)", src.RetransPkts, src.Timeouts)
+	}
+	// The map-era leak accrues ~2.5k stale entries (plus map bucket and
+	// sort-scratch growth) over this window; windowed boards hold state
+	// in fixed rings, so the heap must not move beyond GC noise.
+	const slack = 64 << 10
+	if after > before+slack {
+		t.Fatalf("heap grew %d bytes across a 600s lossy window (before=%d after=%d): unbounded scoreboard state", after-before, before, after)
+	}
+}
+
+// TestSinkStateBoundedVsMapLeak pins the leak itself: under the same
+// spurious-RTO workload the map sink's received set grows with run
+// length while the windowed sink's live span stays within the flow's
+// window.
+func TestSinkStateBoundedVsMapLeak(t *testing.T) {
+	engM, srcM := spuriousRTORig(BoardMap)
+	engM.RunUntil(120)
+	mb := srcM.sink.board.(*mapRecvBoard)
+	stale := 0
+	for seq := range mb.received {
+		if seq < mb.cum {
+			stale++
+		}
+	}
+	if stale < 100 {
+		t.Fatalf("map sink accumulated only %d stale entries — rig no longer reproduces the leak", stale)
+	}
+
+	engW, srcW := spuriousRTORig(BoardWindowed)
+	engW.RunUntil(120)
+	wb := srcW.sink.board.(*windowedRecvBoard)
+	if span := wb.high - wb.cum; span > 512 {
+		t.Fatalf("windowed sink live span %d exceeds any plausible window", span)
+	}
+	if words := len(wb.bits.words); words*64 > 1024 {
+		t.Fatalf("windowed sink ring grew to %d sequences", words*64)
+	}
+}
+
+// TestWindowedBoardRingGrowth exercises grow() directly: live state
+// must survive capacity doubling bit-for-bit.
+func TestWindowedBoardRingGrowth(t *testing.T) {
+	win, ref := newWindowedSendBoard(), newMapSendBoard()
+	lo, hi := int64(0), int64(0)
+	rng := rand.New(rand.NewSource(7))
+	for hi < 5000 {
+		for i := 0; i < 64; i++ {
+			ref.extend(hi)
+			win.extend(hi)
+			if rng.Intn(3) == 0 {
+				ref.markSacked(hi)
+				win.markSacked(hi)
+			} else if rng.Intn(4) == 0 {
+				ref.markLost(hi)
+				win.markLost(hi)
+			}
+			hi++
+		}
+		if d := diffSendBoards(ref, win, lo, hi); d != "" {
+			t.Fatalf("after growth to window [%d,%d): %s", lo, hi, d)
+		}
+	}
+	ref.advance(lo, hi-3)
+	win.advance(lo, hi-3)
+	if d := diffSendBoards(ref, win, hi-3, hi); d != "" {
+		t.Fatalf("after advance: %s", d)
+	}
+}

@@ -5,12 +5,13 @@
 // The model is a bulk-transfer (FTP-like) sender with slow start,
 // congestion avoidance, fast retransmit/fast recovery driven by a SACK
 // scoreboard, and an RTO with exponential backoff. Sequence numbers count
-// fixed-size packets.
+// fixed-size packets. Per-sequence state (SACKed/lost/retransmitted on
+// the sender, received on the sink) lives in a pluggable scoreboard —
+// see scoreboard.go.
 package tcp
 
 import (
 	"math"
-	"slices"
 
 	"qav/internal/sim"
 )
@@ -23,6 +24,11 @@ type Config struct {
 	InitialRTT float64 // seeds the RTO before the first sample, seconds
 	MaxCwnd    float64 // packets; 0 = unlimited
 	Start      float64 // start time, seconds
+
+	// Board selects the scoreboard representation; empty means
+	// DefaultScoreboard (windowed). BoardMap is the reference
+	// implementation kept for differential tests and A/B benchmarks.
+	Board ScoreboardKind
 }
 
 func (c *Config) setDefaults() {
@@ -34,6 +40,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.InitialRTT <= 0 {
 		c.InitialRTT = 0.1
+	}
+	if c.Board == "" {
+		c.Board = DefaultScoreboard
 	}
 }
 
@@ -52,9 +61,7 @@ type Source struct {
 	inRecovery bool
 	recover    int64
 
-	sacked map[int64]bool
-	lost   map[int64]bool // marked for retransmission
-	rtxOut map[int64]bool // retransmitted, awaiting ack
+	board sendBoard // per-sequence sacked/lost/rtx-out state over [highAck, nextSeq)
 
 	srtt, rttvar, rto float64
 	gotRTT            bool
@@ -67,6 +74,10 @@ type Source struct {
 	// ins, when set via Instrument, receives per-event recordings. Nil
 	// on uninstrumented sources: the record sites are branch-guarded.
 	ins *Instruments
+
+	// testTxHook, when non-nil, observes every transmission (tests
+	// only: the differential test records decision traces through it).
+	testTxHook func(seq int64, retx bool)
 
 	// Stats.
 	SentPkts    int64
@@ -85,16 +96,14 @@ func NewSource(eng *sim.Engine, net *sim.Dumbbell, cfg Config) *Source {
 		net:        net,
 		cwnd:       2,
 		ssthresh:   64,
-		sacked:     make(map[int64]bool),
-		lost:       make(map[int64]bool),
-		rtxOut:     make(map[int64]bool),
+		board:      newSendBoard(cfg.Board),
 		srtt:       cfg.InitialRTT,
 		rttvar:     cfg.InitialRTT / 2,
 		rto:        3 * cfg.InitialRTT,
 		rtoBackoff: 1,
 	}
 	s.rtoFn = s.onRTO
-	s.sink = &sink{src: s, received: make(map[int64]bool)}
+	s.sink = &sink{src: s, board: newRecvBoard(cfg.Board)}
 	s.sink.ackSink = sim.ReceiverFunc(s.onAck)
 	eng.At(cfg.Start, s.trySend)
 	return s
@@ -109,14 +118,7 @@ func (s *Source) GoodputBytes() int64 { return s.AckedPkts * int64(s.cfg.PacketS
 // pipe estimates packets in flight: sent but neither cumacked, sacked,
 // nor marked lost (lost packets have left the network).
 func (s *Source) pipe() int {
-	n := 0
-	for seq := s.highAck; seq < s.nextSeq; seq++ {
-		if s.sacked[seq] || (s.lost[seq] && !s.rtxOut[seq]) {
-			continue
-		}
-		n++
-	}
-	return n
+	return s.board.pipe(s.highAck, s.nextSeq)
 }
 
 func (s *Source) trySend() {
@@ -126,37 +128,28 @@ func (s *Source) trySend() {
 	}
 	for s.pipe() < int(window) {
 		// Retransmissions first.
-		if seq, ok := s.nextLost(); ok {
+		if seq, ok := s.board.nextLost(s.highAck, s.nextSeq); ok {
 			s.transmit(seq, true)
 			continue
 		}
+		s.board.extend(s.nextSeq)
 		s.transmit(s.nextSeq, false)
 		s.nextSeq++
 	}
 	s.armRTO()
 }
 
-func (s *Source) nextLost() (int64, bool) {
-	best := int64(math.MaxInt64)
-	for seq := range s.lost {
-		if !s.rtxOut[seq] && seq < best {
-			best = seq
-		}
-	}
-	if best == math.MaxInt64 {
-		return 0, false
-	}
-	return best, true
-}
-
 func (s *Source) transmit(seq int64, retx bool) {
+	if s.testTxHook != nil {
+		s.testTxHook(seq, retx)
+	}
 	p := s.eng.Pool().Get()
 	p.FlowID, p.Seq, p.Size = s.cfg.FlowID, seq, s.cfg.PacketSize
 	p.Kind, p.SendTime, p.Retransmit = sim.Data, s.eng.Now(), retx
 	s.SentPkts++
 	if retx {
 		s.RetransPkts++
-		s.rtxOut[seq] = true
+		s.board.markRtxOut(seq)
 		if s.ins != nil {
 			s.ins.FastRetransmits.Inc()
 		}
@@ -166,7 +159,7 @@ func (s *Source) transmit(seq int64, retx bool) {
 
 func (s *Source) armRTO() {
 	s.rtoTimer.Cancel()
-	if s.pipe() == 0 && len(s.lost) == 0 {
+	if s.pipe() == 0 && s.board.lostCount() == 0 {
 		return
 	}
 	s.rtoTimer = s.eng.After(s.rto*s.rtoBackoff, s.rtoFn)
@@ -183,12 +176,7 @@ func (s *Source) onRTO() {
 	s.inRecovery = false
 	s.rtoBackoff = math.Min(s.rtoBackoff*2, 64)
 	// Everything unsacked is presumed lost (go-back-N-ish with SACK reuse).
-	for seq := s.highAck; seq < s.nextSeq; seq++ {
-		if !s.sacked[seq] {
-			s.lost[seq] = true
-			delete(s.rtxOut, seq)
-		}
-	}
+	s.board.markAllUnsackedLost(s.highAck, s.nextSeq)
 	s.trySend()
 }
 
@@ -197,11 +185,7 @@ func (s *Source) onAck(p *sim.Packet) {
 	if p.CumAck > s.highAck {
 		// New data cumulatively acknowledged.
 		newly := p.CumAck - s.highAck
-		for seq := s.highAck; seq < p.CumAck; seq++ {
-			delete(s.sacked, seq)
-			delete(s.lost, seq)
-			delete(s.rtxOut, seq)
-		}
+		s.board.advance(s.highAck, p.CumAck)
 		s.highAck = p.CumAck
 		s.AckedPkts += newly
 		s.dupacks = 0
@@ -215,7 +199,7 @@ func (s *Source) onAck(p *sim.Packet) {
 				s.inRecovery = false
 				s.cwnd = s.ssthresh
 			}
-			// Partial ACK: the next hole is already in s.lost via the
+			// Partial ACK: the next hole is already marked lost via the
 			// scoreboard update below; stay in recovery.
 		} else {
 			for i := int64(0); i < newly; i++ {
@@ -230,12 +214,13 @@ func (s *Source) onAck(p *sim.Packet) {
 		s.dupacks++
 	}
 
-	// Absorb SACK information.
+	// Absorb SACK information. Every SACKed sequence was transmitted, so
+	// the board already covers it.
 	highestSacked := int64(-1)
 	for _, b := range p.Sack {
 		for seq := b.Start; seq < b.End; seq++ {
 			if seq >= s.highAck {
-				s.sacked[seq] = true
+				s.board.markSacked(seq)
 				if seq > highestSacked {
 					highestSacked = seq
 				}
@@ -245,24 +230,10 @@ func (s *Source) onAck(p *sim.Packet) {
 	// Scoreboard loss inference: an unsacked hole with at least three
 	// sacked packets above it is lost (simplified IsLost()).
 	if highestSacked >= 0 {
-		for seq := s.highAck; seq < highestSacked; seq++ {
-			if s.sacked[seq] || s.lost[seq] {
-				continue
-			}
-			above := 0
-			for q := seq + 1; q <= highestSacked && above < 3; q++ {
-				if s.sacked[q] {
-					above++
-				}
-			}
-			if above >= 3 {
-				s.lost[seq] = true
-				delete(s.rtxOut, seq)
-			}
-		}
+		s.board.inferLost(s.highAck, highestSacked)
 	}
 
-	if !s.inRecovery && (s.dupacks >= 3 || (len(s.lost) > 0 && highestSacked >= 0)) && s.nextSeq > s.highAck {
+	if !s.inRecovery && (s.dupacks >= 3 || (s.board.lostCount() > 0 && highestSacked >= 0)) && s.nextSeq > s.highAck {
 		// Enter fast recovery.
 		s.inRecovery = true
 		s.recover = s.nextSeq
@@ -272,9 +243,9 @@ func (s *Source) onAck(p *sim.Packet) {
 		if s.ins != nil {
 			s.ins.Recoveries.Inc()
 		}
-		if len(s.lost) == 0 {
+		if s.board.lostCount() == 0 {
 			// Triple dupack without SACK info: first hole is lost.
-			s.lost[s.highAck] = true
+			s.board.markLost(s.highAck)
 		}
 	}
 	s.trySend()
@@ -306,11 +277,9 @@ func (s *Source) updateRTT(sample float64) {
 // sink is the receiving side: it acknowledges every data packet with a
 // cumulative ACK plus up to three SACK blocks.
 type sink struct {
-	src      *Source
-	received map[int64]bool
-	cumack   int64
-	ackSink  sim.Receiver // long-lived: no closure per ACK
-	seqs     []int64      // scratch for sackBlocks
+	src     *Source
+	board   recvBoard
+	ackSink sim.Receiver // long-lived: no closure per ACK
 }
 
 // Recv implements sim.Receiver. The ACK reuses the pooled packet's Sack
@@ -319,47 +288,10 @@ func (k *sink) Recv(p *sim.Packet) {
 	if p.Kind != sim.Data {
 		return
 	}
-	k.received[p.Seq] = true
-	for k.received[k.cumack] {
-		delete(k.received, k.cumack)
-		k.cumack++
-	}
+	k.board.add(p.Seq)
 	ack := k.src.eng.Pool().Get()
 	ack.FlowID, ack.Kind, ack.Size = p.FlowID, sim.Ack, k.src.cfg.AckSize
-	ack.CumAck, ack.AckSeq, ack.Echo = k.cumack, p.Seq, p.SendTime
-	ack.Sack = k.sackBlocks(ack.Sack[:0])
+	ack.CumAck, ack.AckSeq, ack.Echo = k.board.cumack(), p.Seq, p.SendTime
+	ack.Sack = k.board.appendSack(ack.Sack[:0])
 	k.src.net.SendAck(ack, k.ackSink)
-}
-
-// sackBlocks summarizes out-of-order data above cumack as ranges,
-// appending into blocks (typically the ACK packet's recycled Sack
-// backing array).
-func (k *sink) sackBlocks(blocks []sim.SackBlock) []sim.SackBlock {
-	if len(k.received) == 0 {
-		return blocks[:0]
-	}
-	seqs := k.seqs[:0]
-	for s := range k.received {
-		seqs = append(seqs, s)
-	}
-	k.seqs = seqs
-	slices.Sort(seqs)
-	start, prev := seqs[0], seqs[0]
-	for _, s := range seqs[1:] {
-		if s == prev+1 {
-			prev = s
-			continue
-		}
-		blocks = append(blocks, sim.SackBlock{Start: start, End: prev + 1})
-		start, prev = s, s
-	}
-	blocks = append(blocks, sim.SackBlock{Start: start, End: prev + 1})
-	// Most recent (highest) blocks are the most useful; cap at 3. Copy
-	// down instead of reslicing so the backing array's head is kept for
-	// reuse by the packet pool.
-	if len(blocks) > 3 {
-		n := copy(blocks, blocks[len(blocks)-3:])
-		blocks = blocks[:n]
-	}
-	return blocks
 }

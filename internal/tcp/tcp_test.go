@@ -101,38 +101,51 @@ func TestMaxCwndCap(t *testing.T) {
 	}
 }
 
-func TestSackBlocksWellFormed(t *testing.T) {
-	k := &sink{src: &Source{cfg: Config{AckSize: 40}}, received: map[int64]bool{
-		5: true, 6: true, 9: true, 12: true, 13: true,
-	}}
-	blocks := k.sackBlocks(nil)
-	if len(blocks) != 3 {
-		t.Fatalf("got %d blocks, want 3: %+v", len(blocks), blocks)
-	}
-	for _, b := range blocks {
-		if b.End <= b.Start {
-			t.Fatalf("malformed block %+v", b)
-		}
-	}
-	// Blocks must cover {5,6}, {9}, {12,13}.
-	want := []sim.SackBlock{{Start: 5, End: 7}, {Start: 9, End: 10}, {Start: 12, End: 14}}
-	for i, b := range blocks {
-		if b != want[i] {
-			t.Fatalf("block %d = %+v, want %+v", i, b, want[i])
-		}
+func eachBoardKind(t *testing.T, f func(t *testing.T, kind ScoreboardKind)) {
+	t.Helper()
+	for _, kind := range []ScoreboardKind{BoardMap, BoardWindowed} {
+		t.Run(string(kind), func(t *testing.T) { f(t, kind) })
 	}
 }
 
+func TestSackBlocksWellFormed(t *testing.T) {
+	eachBoardKind(t, func(t *testing.T, kind ScoreboardKind) {
+		b := newRecvBoard(kind)
+		for _, seq := range []int64{5, 6, 9, 12, 13} {
+			b.add(seq)
+		}
+		blocks := b.appendSack(nil)
+		if len(blocks) != 3 {
+			t.Fatalf("got %d blocks, want 3: %+v", len(blocks), blocks)
+		}
+		for _, blk := range blocks {
+			if blk.End <= blk.Start {
+				t.Fatalf("malformed block %+v", blk)
+			}
+		}
+		// Blocks must cover {5,6}, {9}, {12,13}.
+		want := []sim.SackBlock{{Start: 5, End: 7}, {Start: 9, End: 10}, {Start: 12, End: 14}}
+		for i, blk := range blocks {
+			if blk != want[i] {
+				t.Fatalf("block %d = %+v, want %+v", i, blk, want[i])
+			}
+		}
+	})
+}
+
 func TestSackBlocksCapAtThree(t *testing.T) {
-	k := &sink{src: &Source{cfg: Config{AckSize: 40}}, received: map[int64]bool{
-		1: true, 3: true, 5: true, 7: true, 9: true,
-	}}
-	blocks := k.sackBlocks(nil)
-	if len(blocks) != 3 {
-		t.Fatalf("got %d blocks, want cap of 3", len(blocks))
-	}
-	// The highest blocks are kept.
-	if blocks[len(blocks)-1].Start != 9 {
-		t.Fatalf("highest block missing: %+v", blocks)
-	}
+	eachBoardKind(t, func(t *testing.T, kind ScoreboardKind) {
+		b := newRecvBoard(kind)
+		for _, seq := range []int64{1, 3, 5, 7, 9} {
+			b.add(seq)
+		}
+		blocks := b.appendSack(nil)
+		if len(blocks) != 3 {
+			t.Fatalf("got %d blocks, want cap of 3", len(blocks))
+		}
+		// The highest blocks are kept.
+		if blocks[len(blocks)-1].Start != 9 {
+			t.Fatalf("highest block missing: %+v", blocks)
+		}
+	})
 }

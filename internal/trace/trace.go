@@ -23,6 +23,24 @@ func (s *Series) Add(t, v float64) {
 	s.V = append(s.V, v)
 }
 
+// Reserve grows the series' capacity to hold at least n samples, so a
+// caller that knows its sample count up front (e.g. the scenario
+// sampler: Duration/SampleInterval) pays one allocation per vector
+// instead of the append regrowth ladder. Existing samples are kept; a
+// series already at capacity n is untouched.
+func (s *Series) Reserve(n int) {
+	if cap(s.T) < n {
+		t := make([]float64, len(s.T), n)
+		copy(t, s.T)
+		s.T = t
+	}
+	if cap(s.V) < n {
+		v := make([]float64, len(s.V), n)
+		copy(v, s.V)
+		s.V = v
+	}
+}
+
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.T) }
 

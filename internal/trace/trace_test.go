@@ -192,3 +192,38 @@ func TestQualityChanges(t *testing.T) {
 		t.Fatalf("changes in [5,20) = %d, want 1", got)
 	}
 }
+
+func TestReserveKeepsSamplesAndCapacity(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Reserve(100)
+	if s.Len() != 2 || s.T[0] != 1 || s.V[1] != 20 {
+		t.Fatalf("Reserve lost samples: %+v", s)
+	}
+	if cap(s.T) < 100 || cap(s.V) < 100 {
+		t.Fatalf("Reserve did not grow capacity: %d/%d", cap(s.T), cap(s.V))
+	}
+	ct, cv := cap(s.T), cap(s.V)
+	s.Reserve(50) // already large enough: must be a no-op
+	if cap(s.T) != ct || cap(s.V) != cv {
+		t.Fatal("Reserve shrank or reallocated an already-large series")
+	}
+}
+
+// Appending within a reservation must never allocate — this is what lets
+// the scenario sampler run allocation-free at steady state.
+func TestReserveAppendsAllocationFree(t *testing.T) {
+	const n = 1202
+	var s Series
+	s.Reserve(n)
+	allocs := testing.AllocsPerRun(10, func() {
+		s.T, s.V = s.T[:0], s.V[:0]
+		for i := 0; i < n; i++ {
+			s.Add(float64(i), float64(i))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("adding %d reserved samples allocated %.0f times per run", n, allocs)
+	}
+}

@@ -1,12 +1,13 @@
 #!/bin/sh
-# Runs the headline simulation benchmarks and writes BENCH_PR4.json
+# Runs the headline simulation benchmarks and writes BENCH_PR5.json
 # (ns/op, B/op, allocs/op per benchmark, plus deltas against the
-# recorded pre-pooling baseline). Also archives BENCH_REPORT.json, an
-# instrumented reference-run report (the Figure 11 scenario's full
-# metrics snapshot: engine, queue-delay quantiles, transports, QA), so
-# behavioural drift diffs alongside the perf numbers. Pass -quick to
-# skip the long TablesSweep runs; any arguments are forwarded to
-# qabench.
+# recorded pre-pooling baseline; the Fleet/1000 entry carries events/sec
+# and packets/sec with the map-scoreboard run as its baseline). Also
+# archives BENCH_REPORT.json, an instrumented reference-run report (the
+# Figure 11 scenario's full metrics snapshot: engine, queue-delay
+# quantiles, transports, QA), so behavioural drift diffs alongside the
+# perf numbers. Pass -quick to skip the long TablesSweep and 1000-flow
+# Fleet runs; any arguments are forwarded to qabench.
 set -eu
 cd "$(dirname "$0")/.."
-exec go run ./cmd/qabench -out BENCH_PR4.json -report BENCH_REPORT.json "$@"
+exec go run ./cmd/qabench -out BENCH_PR5.json -report BENCH_REPORT.json "$@"
