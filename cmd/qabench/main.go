@@ -121,17 +121,23 @@ func main() {
 		}
 	}
 
-	// The Fleet trio measures population-scale throughput (the Fleet
+	// The Fleet family measures population-scale throughput (the Fleet
 	// preset holds the per-flow fair share constant as the population
 	// grows). 1000-map runs the identical 1000-flow workload on the
 	// reference map scoreboards; the report pairs it as Fleet/1000's
-	// baseline, so the windowed-bitmap speedup appears as a delta.
-	fleetBench := func(flows int, board tcp.ScoreboardKind) func(b *testing.B) {
+	// baseline, so the windowed-bitmap speedup appears as a delta. The
+	// 10000-flow entries run the identical workload at shard counts 1, 2,
+	// and 4 (results are bit-identical — the differential suite holds the
+	// sharded engine to the serial one), pairing shards4 against the
+	// serial run so the parallel speedup reads as a delta; on a
+	// single-core host the pair documents the barrier overhead instead.
+	fleetBench := func(flows, shards int, dur float64, board tcp.ScoreboardKind) func(b *testing.B) {
 		return func(b *testing.B) {
 			cfg := scenario.MustPreset("Fleet",
 				scenario.WithFlows(flows), scenario.WithScale(figures.DefaultScale))
-			cfg.Duration = 5
+			cfg.Duration = dur
 			cfg.Board = board
+			cfg.Shards = shards
 			var events, packets int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -180,9 +186,12 @@ func main() {
 				}
 			}
 		}},
-		{"Fleet/100", false, fleetBench(100, tcp.BoardWindowed)},
-		{"Fleet/1000-map", true, fleetBench(1000, tcp.BoardMap)},
-		{"Fleet/1000", true, fleetBench(1000, tcp.BoardWindowed)},
+		{"Fleet/100", false, fleetBench(100, 1, 5, tcp.BoardWindowed)},
+		{"Fleet/1000-map", true, fleetBench(1000, 1, 5, tcp.BoardMap)},
+		{"Fleet/1000", true, fleetBench(1000, 1, 5, tcp.BoardWindowed)},
+		{"Fleet/10000", true, fleetBench(10_000, 1, 2, tcp.BoardWindowed)},
+		{"Fleet/10000-shards2", true, fleetBench(10_000, 2, 2, tcp.BoardWindowed)},
+		{"Fleet/10000-shards4", true, fleetBench(10_000, 4, 2, tcp.BoardWindowed)},
 		{"Simulator", false, func(b *testing.B) {
 			// Instrumented: the engine and link publish into a live
 			// registry and the queueing-delay histogram records every
@@ -263,6 +272,7 @@ func main() {
 	abPairs := [][2]string{
 		{"Scheduler/calendar", "Scheduler/heap"},
 		{"Fleet/1000", "Fleet/1000-map"},
+		{"Fleet/10000-shards4", "Fleet/10000"},
 	}
 	byIdx := make(map[string]int, len(rep.Benchmarks))
 	for i, e := range rep.Benchmarks {

@@ -25,6 +25,12 @@
 // Sack-TCP, capacity and queue scaled so the per-flow fair share is
 // population-invariant) and -traceflows caps per-flow trace series while
 // emitting fleet-wide aggregates; see scenario.Config.MaxTraceFlows.
+//
+// -shards N splits ONE run across N engines (a bottleneck shard plus
+// N-1 flow shards) synchronized by a conservative time barrier. Results
+// — reports, traces, TSVs — are bit-identical to -shards 1; see
+// DESIGN.md, "Parallel DES". Orthogonal to -parallel, which runs the
+// independent sweep configs concurrently.
 package main
 
 import (
@@ -61,6 +67,7 @@ func main() {
 	dur := flag.Float64("dur", 60, "simulated duration, seconds")
 	pkt := flag.Int("pkt", 512, "packet size, bytes")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU)")
+	shards := flag.Int("shards", 1, "engines per run: 1 = classic serial, N >= 2 = one bottleneck shard plus N-1 flow shards with identical results (see DESIGN.md, Parallel DES)")
 	tsv := flag.Bool("tsv", false, "dump full time series as TSV")
 	events := flag.Bool("events", false, "dump the controller event log")
 	reportPath := flag.String("report", "", `write a JSON run report to this file ("-" = stdout)`)
@@ -181,6 +188,7 @@ func main() {
 		if *traceFlows >= 0 {
 			cfg.MaxTraceFlows = *traceFlows
 		}
+		cfg.Shards = *shards
 		// Normalize here (Run would do it too) so flag mistakes surface
 		// before any simulation starts, with the effective defaults filled
 		// in for the report.

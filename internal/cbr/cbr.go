@@ -19,7 +19,7 @@ type Config struct {
 type Source struct {
 	cfg    Config
 	eng    *sim.Engine
-	net    *sim.Dumbbell
+	net    sim.Network
 	seq    int64
 	sink   sim.Receiver
 	tickFn func() // tick as a long-lived value: no closure per packet
@@ -31,7 +31,7 @@ type Source struct {
 }
 
 // NewSource creates a CBR source on net. The sink just counts packets.
-func NewSource(eng *sim.Engine, net *sim.Dumbbell, cfg Config) *Source {
+func NewSource(eng *sim.Engine, net sim.Network, cfg Config) *Source {
 	if cfg.PacketSize <= 0 {
 		cfg.PacketSize = 512
 	}

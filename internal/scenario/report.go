@@ -75,10 +75,22 @@ func (r *Result) fleetStats() FleetStats {
 	fs.QAGoodputBps = float64(qa) / dur
 	fs.RAPGoodputBps = float64(rapB) / dur
 	fs.TCPGoodputBps = float64(tcpB) / dur
-	if sumSq > 0 {
-		fs.JainFairnessTCP = sum * sum / (float64(fs.TCPFlows) * sumSq)
-	}
+	fs.JainFairnessTCP = jainIndex(sum, sumSq, fs.TCPFlows)
 	return fs
+}
+
+// jainIndex computes Jain's fairness index (Σx)²/(n·Σx²) from a
+// population's goodput sum and sum of squares. An empty or all-zero
+// population — every flow at zero goodput, the most pathological run —
+// yields 0 rather than NaN (0/0): encoding/json refuses to marshal
+// NaN, so a NaN here would make -report fail exactly when its output
+// matters most. Every Jain computation (run report, serial sampler,
+// sharded fleet coordinator) must go through this one guard.
+func jainIndex(sum, sumSq float64, n int) float64 {
+	if n <= 0 || !(sumSq > 0) {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
 }
 
 // Report summarizes the run. The metrics snapshot is taken now, from

@@ -49,30 +49,9 @@ func startSampler(eng *sim.Engine, net *sim.Dumbbell, cfg Config, res *Result) {
 		return n
 	}
 
-	type layerSeries struct {
-		buf, share, drain, tx, rx *trace.Series
-	}
-	lastSent := make([]int64, cfg.MaxTraceLayers)
-	lastDelivered := make([]int64, cfg.MaxTraceLayers)
-	var (
-		sRate, sCons, sLayers, sBufTotal *trace.Series
-		perLayer                         []layerSeries
-	)
+	var full *qaTrace
 	if res.QASrc != nil {
-		sRate = series("qa.rate")
-		sCons = series("qa.consumption")
-		sLayers = series("qa.layers")
-		sBufTotal = series("qa.buftotal")
-		perLayer = make([]layerSeries, cfg.MaxTraceLayers)
-		for l := range perLayer {
-			perLayer[l] = layerSeries{
-				buf:   series(fmt.Sprintf("qa.buf.l%d", l)),
-				share: series(fmt.Sprintf("qa.share.l%d", l)),
-				drain: series(fmt.Sprintf("qa.drain.l%d", l)),
-				tx:    series(fmt.Sprintf("qa.tx.l%d", l)),
-				rx:    series(fmt.Sprintf("qa.rx.l%d", l)),
-			}
-		}
+		full = newQATrace(series, &cfg)
 	}
 	// Rate series for QA flows beyond the first, fleet mode only (the
 	// first flow's rate is qa.rate above).
@@ -114,41 +93,7 @@ func startSampler(eng *sim.Engine, net *sim.Dumbbell, cfg Config, res *Result) {
 			// whether or not the flow is traced.
 			q.Ctrl.Tick(now, q.Snd.Rate(), q.Snd.ConservativeSlope())
 			if qi == 0 {
-				sRate.Add(now, q.Snd.Rate())
-				sCons.Add(now, q.Ctrl.ConsumptionRate())
-				sLayers.Add(now, float64(q.Ctrl.ActiveLayers()))
-				sBufTotal.Add(now, q.Ctrl.TotalBuf())
-				bufs := q.Ctrl.Buffers()
-				shares := q.Ctrl.Shares()
-				for l := 0; l < cfg.MaxTraceLayers; l++ {
-					var buf, share, drain float64
-					if l < len(bufs) {
-						buf = bufs[l]
-						share = shares[l]
-						if q.Ctrl.Playing() {
-							drain = cfg.QA.C - share
-							if drain < 0 {
-								drain = 0
-							}
-						}
-					}
-					var sent, delivered int64
-					if l < len(q.SentByLayer) {
-						sent = q.SentByLayer[l]
-					}
-					if l < len(q.DeliveredByLayer) {
-						delivered = q.DeliveredByLayer[l]
-					}
-					txRate := float64(sent-lastSent[l]) / cfg.SampleInterval
-					rxRate := float64(delivered-lastDelivered[l]) / cfg.SampleInterval
-					lastSent[l] = sent
-					lastDelivered[l] = delivered
-					perLayer[l].buf.Add(now, buf)
-					perLayer[l].share.Add(now, share)
-					perLayer[l].drain.Add(now, drain)
-					perLayer[l].tx.Add(now, txRate)
-					perLayer[l].rx.Add(now, rxRate)
-				}
+				full.sample(now, q)
 			} else if qi-1 < len(sQA) {
 				sQA[qi-1].Add(now, q.Snd.Rate())
 			}
@@ -188,15 +133,99 @@ func startSampler(eng *sim.Engine, net *sim.Dumbbell, cfg Config, res *Result) {
 			}
 			sFleetTCP.Add(now, float64(total-lastTCPTotal)/cfg.SampleInterval)
 			lastTCPTotal = total
-			jain := 0.0
-			if sumSq > 0 {
-				jain = sum * sum / (float64(len(res.TCPSrcs)) * sumSq)
-			}
-			sJain.Add(now, jain)
+			sJain.Add(now, jainIndex(sum, sumSq, len(res.TCPSrcs)))
 		}
 		if now+cfg.SampleInterval <= cfg.Duration {
 			eng.After(cfg.SampleInterval, sample)
 		}
 	}
 	eng.At(0, sample)
+}
+
+// layerSeries bundles one video layer's five trace series (Fig 11's
+// per-layer breakdown).
+type layerSeries struct {
+	buf, share, drain, tx, rx *trace.Series
+}
+
+// qaTrace is the first QA flow's full per-layer trace: rate,
+// consumption, active layers, total buffering, and the five per-layer
+// series. It is extracted from the sampler body so the serial sampler
+// and the sharded per-shard ticker record byte-identical values from
+// one implementation. Creation order of its series is load-bearing
+// (trace.Set is creation-ordered and figure TSVs are the regression
+// oracle): qa.rate, qa.consumption, qa.layers, qa.buftotal, then
+// buf/share/drain/tx/rx per layer.
+type qaTrace struct {
+	sRate, sCons, sLayers, sBufTotal *trace.Series
+	perLayer                         []layerSeries
+
+	lastSent, lastDelivered []int64
+
+	interval float64
+	qaC      float64
+}
+
+func newQATrace(series func(string) *trace.Series, cfg *Config) *qaTrace {
+	qt := &qaTrace{
+		sRate:         series("qa.rate"),
+		sCons:         series("qa.consumption"),
+		sLayers:       series("qa.layers"),
+		sBufTotal:     series("qa.buftotal"),
+		perLayer:      make([]layerSeries, cfg.MaxTraceLayers),
+		lastSent:      make([]int64, cfg.MaxTraceLayers),
+		lastDelivered: make([]int64, cfg.MaxTraceLayers),
+		interval:      cfg.SampleInterval,
+		qaC:           cfg.QA.C,
+	}
+	for l := range qt.perLayer {
+		qt.perLayer[l] = layerSeries{
+			buf:   series(fmt.Sprintf("qa.buf.l%d", l)),
+			share: series(fmt.Sprintf("qa.share.l%d", l)),
+			drain: series(fmt.Sprintf("qa.drain.l%d", l)),
+			tx:    series(fmt.Sprintf("qa.tx.l%d", l)),
+			rx:    series(fmt.Sprintf("qa.rx.l%d", l)),
+		}
+	}
+	return qt
+}
+
+// sample records one tick for q at virtual time now. The caller has
+// already ticked q's controller.
+func (qt *qaTrace) sample(now float64, q *QASource) {
+	qt.sRate.Add(now, q.Snd.Rate())
+	qt.sCons.Add(now, q.Ctrl.ConsumptionRate())
+	qt.sLayers.Add(now, float64(q.Ctrl.ActiveLayers()))
+	qt.sBufTotal.Add(now, q.Ctrl.TotalBuf())
+	bufs := q.Ctrl.Buffers()
+	shares := q.Ctrl.Shares()
+	for l := range qt.perLayer {
+		var buf, share, drain float64
+		if l < len(bufs) {
+			buf = bufs[l]
+			share = shares[l]
+			if q.Ctrl.Playing() {
+				drain = qt.qaC - share
+				if drain < 0 {
+					drain = 0
+				}
+			}
+		}
+		var sent, delivered int64
+		if l < len(q.SentByLayer) {
+			sent = q.SentByLayer[l]
+		}
+		if l < len(q.DeliveredByLayer) {
+			delivered = q.DeliveredByLayer[l]
+		}
+		txRate := float64(sent-qt.lastSent[l]) / qt.interval
+		rxRate := float64(delivered-qt.lastDelivered[l]) / qt.interval
+		qt.lastSent[l] = sent
+		qt.lastDelivered[l] = delivered
+		qt.perLayer[l].buf.Add(now, buf)
+		qt.perLayer[l].share.Add(now, share)
+		qt.perLayer[l].drain.Add(now, drain)
+		qt.perLayer[l].tx.Add(now, txRate)
+		qt.perLayer[l].rx.Add(now, rxRate)
+	}
 }

@@ -56,6 +56,16 @@ type Config struct {
 	// paper-reproduction regression oracle.
 	MaxTraceFlows int
 
+	// Shards selects parallel execution. 0 or 1 runs the classic
+	// serial engine, untouched. N >= 2 partitions the run across N
+	// engines — one for the bottleneck plus N-1 flow shards —
+	// synchronized by conservative time barriers (sim.ShardedDumbbell);
+	// results are identical to the serial engine, so this is purely a
+	// wall-clock knob. Excluded from reports (like the other execution
+	// knobs below) so runs differing only in shard count produce
+	// byte-identical RunReports.
+	Shards int `json:"-"`
+
 	// Board selects the TCP scoreboard representation (default
 	// windowed). Both kinds produce bit-identical simulations — this
 	// exists for the qabench Fleet A/B pair and differential tests.
@@ -89,6 +99,13 @@ func (cfg *Config) Normalize() error {
 	if cfg.BottleneckRate <= 0 || cfg.Duration <= 0 {
 		return fmt.Errorf("scenario: incomplete config %+v", *cfg)
 	}
+	if cfg.NumTCP < 0 || cfg.NumRAP < 0 || cfg.NumQA < 0 {
+		// Negative counts would poison the fair-share rate split below
+		// Run (division by a zero or negative flow total) before any
+		// loop noticed them.
+		return fmt.Errorf("scenario: negative flow counts (%d QA, %d RAP, %d TCP)",
+			cfg.NumQA, cfg.NumRAP, cfg.NumTCP)
+	}
 	if cfg.SampleInterval <= 0 {
 		cfg.SampleInterval = 0.1
 	}
@@ -105,6 +122,9 @@ func (cfg *Config) Normalize() error {
 	}
 	if cfg.NumQA > 0 {
 		cfg.WithQA = true
+	}
+	if cfg.NumQA+cfg.NumRAP+cfg.NumTCP == 0 && cfg.CBRRate <= 0 {
+		return fmt.Errorf("scenario: config %q has no traffic sources", cfg.Name)
 	}
 	return nil
 }
@@ -141,6 +161,9 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
+	if cfg.Shards > 1 {
+		return runSharded(cfg)
+	}
 
 	eng := sim.NewEngineSched(cfg.Sched)
 	if cfg.SchedRec != nil {
@@ -168,6 +191,35 @@ func Run(cfg Config) (*Result, error) {
 	baseRTT := net.BaseRTT()
 
 	res := &Result{Cfg: cfg, Series: trace.NewSet(), Metrics: cfg.Metrics}
+	nflows, err := buildFlows(cfg, res, baseRTT, func(int) (*sim.Engine, sim.Network) {
+		return eng, net
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	instrument(cfg.Metrics, net, res, nflows)
+	startSampler(eng, net, cfg, res)
+
+	eng.RunUntil(cfg.Duration)
+
+	finishResult(res)
+	return res, nil
+}
+
+// placement maps a flow to the engine it runs on and the network front
+// it sends through. The serial path returns its single engine for every
+// flow; the sharded path assigns the flow to a shard and returns that
+// shard's engine and mailbox front.
+type placement func(flowID int) (*sim.Engine, sim.Network)
+
+// buildFlows constructs the run's traffic mix — QA, RAP, TCP, CBR, in
+// that order, with globally increasing flow IDs — placing each flow on
+// the engine place returns for it. It returns the total flow count.
+// Identical construction order on either execution path is part of the
+// serial/sharded equivalence argument: flows that start at the same
+// staggered instant are scheduled, and therefore fire, in flow-ID order.
+func buildFlows(cfg Config, res *Result, baseRTT float64, place placement) (int, error) {
 	flowID := 0
 
 	// The QA term is 1 even without a QA flow — the legacy fair-share
@@ -189,10 +241,11 @@ func Run(cfg Config) (*Result, error) {
 	for i := 0; i < cfg.NumQA; i++ {
 		ctrl, err := core.NewController(cfg.QA)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		// The first QA flow starts at 0 like the paper runs; additional
 		// fleet flows stagger to avoid phase locking.
+		eng, net := place(flowID)
 		res.QASrcs = append(res.QASrcs, NewQASource(eng, net, flowID, rapCfg(), ctrl, stagger(i, 0.097)))
 		flowID++
 	}
@@ -201,11 +254,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for i := 0; i < cfg.NumRAP; i++ {
 		// Stagger starts slightly to avoid phase locking.
+		eng, net := place(flowID)
 		res.RAPSrcs = append(res.RAPSrcs, NewRAPSource(eng, net, flowID, rapCfg(), stagger(i, 0.111)))
 		flowID++
 	}
 	for i := 0; i < cfg.NumTCP; i++ {
 		start := 0.05 + stagger(i, 0.087)
+		eng, net := place(flowID)
 		res.TCPSrcs = append(res.TCPSrcs, tcp.NewSource(eng, net, tcp.Config{
 			FlowID:     flowID,
 			PacketSize: cfg.PacketSize,
@@ -216,6 +271,7 @@ func Run(cfg Config) (*Result, error) {
 		flowID++
 	}
 	if cfg.CBRRate > 0 {
+		eng, net := place(flowID)
 		cbr.NewSource(eng, net, cbr.Config{
 			FlowID:     flowID,
 			Rate:       cfg.CBRRate,
@@ -225,12 +281,12 @@ func Run(cfg Config) (*Result, error) {
 		})
 		flowID++
 	}
+	return flowID, nil
+}
 
-	instrument(cfg.Metrics, net, res, flowID)
-	startSampler(eng, net, cfg, res)
-
-	eng.RunUntil(cfg.Duration)
-
+// finishResult copies the first QA flow's delivered-quality summary
+// onto the result, after the engine(s) have run to completion.
+func finishResult(res *Result) {
 	if res.QASrc != nil {
 		res.Events = res.QASrc.Ctrl.Events
 		res.Stats = trace.ComputeDropStats(res.Events)
@@ -238,16 +294,32 @@ func Run(cfg Config) (*Result, error) {
 		res.StallSec = res.QASrc.Ctrl.StallSec
 		res.LayerSeconds = res.QASrc.Ctrl.LayerSeconds
 	}
-	return res, nil
 }
 
 // stagger spreads flow i's start time over a bounded one-second window.
-// Small populations get the classic linear offsets (i·step stays below
-// the wrap for every paper preset, and math.Mod is exact there), while a
-// fleet of any size finishes ramping up within its first second instead
-// of taking O(flows) seconds to start.
+// Small populations get the classic linear offsets — float64(i)*step,
+// byte-identical to what every paper preset has always produced — while
+// a fleet of any size finishes ramping up within its first second
+// instead of taking O(flows) seconds to start.
+//
+// The wrap is computed in integer milliseconds, not with math.Mod:
+// float64(i)*step accumulates rounding error as i grows, so the float
+// remainder of flow 10_000 depends on nothing but luck, and two flows
+// whose offsets should coincide exactly (i and i plus one full period,
+// 1000/gcd(stepMilli, 1000) steps) would drift apart. Every stagger
+// step is a whole number of milliseconds, making the integer form
+// exact at any population size —
+// a prerequisite for the shard-vs-serial differential suite, where
+// coinciding start times must coincide bitwise regardless of which
+// shard constructs the flow.
 func stagger(i int, step float64) float64 {
-	return math.Mod(float64(i)*step, 1.0)
+	stepMilli := int64(math.Round(step * 1000))
+	if m := int64(i) * stepMilli; m >= 1000 {
+		return float64(m%1000) / 1000
+	}
+	// Below the wrap the product is exact to the last bit of
+	// float64(i)*step, the historical value; keep it bitwise.
+	return float64(i) * step
 }
 
 // instrument wires every layer of the run into reg: the engine and
@@ -262,6 +334,14 @@ func instrument(reg *metrics.Registry, net *sim.Dumbbell, res *Result, nflows in
 	}
 	net.Instrument(reg)
 	net.Bneck.InstrumentFlows(reg, nflows)
+	instrumentSources(reg, res)
+}
+
+// instrumentSources registers the transport- and controller-level
+// instruments, shared between the serial and sharded paths (the
+// shared Instruments use atomic histograms and snapshot-time Func
+// reads, so multi-engine execution records into them safely).
+func instrumentSources(reg *metrics.Registry, res *Result) {
 	if len(res.QASrcs) > 0 {
 		// Shared instruments, like rap./tcp. below: counters aggregate
 		// and Func metrics sum across a fleet's QA flows.

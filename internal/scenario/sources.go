@@ -16,7 +16,7 @@ type RAPSource struct {
 	Snd *rap.Sender
 
 	eng     *sim.Engine
-	net     *sim.Dumbbell
+	net     sim.Network
 	flowID  int
 	pktSize int
 	ackSize int
@@ -34,7 +34,7 @@ type RAPSource struct {
 }
 
 // NewRAPSource creates a RAP cross-traffic flow starting at start.
-func NewRAPSource(eng *sim.Engine, net *sim.Dumbbell, flowID int, cfg rap.Config, start float64) *RAPSource {
+func NewRAPSource(eng *sim.Engine, net sim.Network, flowID int, cfg rap.Config, start float64) *RAPSource {
 	r := &RAPSource{
 		Snd:     rap.NewSender(cfg),
 		eng:     eng,
@@ -89,7 +89,7 @@ type QASource struct {
 	Ctrl *core.Controller
 
 	eng     *sim.Engine
-	net     *sim.Dumbbell
+	net     sim.Network
 	flowID  int
 	pktSize int
 	ackSize int
@@ -117,7 +117,7 @@ type QASource struct {
 
 // NewQASource creates the quality-adaptive flow. Its controller must be
 // constructed by the caller (so scenarios can vary Kmax etc.).
-func NewQASource(eng *sim.Engine, net *sim.Dumbbell, flowID int, rcfg rap.Config, ctrl *core.Controller, start float64) *QASource {
+func NewQASource(eng *sim.Engine, net sim.Network, flowID int, rcfg rap.Config, ctrl *core.Controller, start float64) *QASource {
 	q := &QASource{
 		Snd:      rap.NewSender(rcfg),
 		Ctrl:     ctrl,

@@ -103,10 +103,18 @@ func newCalQueue() *calQueue {
 	}
 }
 
-// evLess is the engine's total event order: time, then scheduling seq.
+// evLess is the engine's total event order: time, then scheduling-time
+// tie key, then scheduling seq. For a lone engine pt is Now() at
+// schedule time — non-decreasing in seq — so (time, pt, seq) collapses
+// to the classic (time, seq) order; the middle key only separates
+// events when the sharded runner injects a cross-shard arrival with an
+// explicit pt (Engine.AtFuncPrio).
 func evLess(a, b *event) bool {
 	if a.time != b.time {
 		return a.time < b.time
+	}
+	if a.pt != b.pt {
+		return a.pt < b.pt
 	}
 	return a.seq < b.seq
 }
@@ -144,10 +152,11 @@ func (c *calQueue) push(ev *event) {
 	}
 }
 
-// insertBucket links ev into its physical bucket in (time, seq) order.
-// The common cases are O(1): an empty bucket, or an event sorting at or
+// insertBucket links ev into its physical bucket in evLess order. The
+// common cases are O(1): an empty bucket, or an event sorting at or
 // after the tail (packet events arrive in roughly increasing time, and
-// same-time events always carry a larger seq, so ties append too).
+// a lone engine's same-time events always carry a larger seq, so ties
+// append too; only barrier-injected arrivals can sort mid-list).
 func (c *calQueue) insertBucket(ev *event) {
 	i := int(ev.vb & c.mask)
 	ev.next = nil

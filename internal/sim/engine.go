@@ -30,7 +30,8 @@ import (
 // scheduler ever allocates per operation.
 type event struct {
 	time float64
-	seq  uint64 // tie-breaker: preserves scheduling order at equal times
+	pt   float64 // first tie-breaker: virtual time the event was scheduled at
+	seq  uint64  // second tie-breaker: preserves scheduling order at equal (time, pt)
 	fn   func()
 	fn1  func(any)
 	arg  any
@@ -70,6 +71,7 @@ func (t Timer) Active() bool {
 // which runs one private Engine per worker).
 type Engine struct {
 	now   float64
+	curPt float64 // pt of the event being executed (shard.go reads it)
 	seq   uint64
 	sched scheduler
 	nRun  uint64
@@ -143,7 +145,7 @@ func (e *Engine) Instrument(reg *metrics.Registry) {
 // At schedules fn at absolute virtual time t. Scheduling in the past
 // panics: it would silently corrupt causality.
 func (e *Engine) At(t float64, fn func()) Timer {
-	return e.schedule(t, fn, nil, nil)
+	return e.schedule(t, e.now, fn, nil, nil)
 }
 
 // AtFunc schedules fn(arg) at absolute virtual time t. Unlike At, the
@@ -151,10 +153,27 @@ func (e *Engine) At(t float64, fn func()) Timer {
 // so a call site that reuses a long-lived fn (a bound method stored at
 // construction, or a package-level func) schedules without allocating.
 func (e *Engine) AtFunc(t float64, fn func(arg any), arg any) Timer {
-	return e.schedule(t, nil, fn, arg)
+	return e.schedule(t, e.now, nil, fn, arg)
 }
 
-func (e *Engine) schedule(t float64, fn func(), fn1 func(any), arg any) Timer {
+// AtFuncPrio schedules fn(arg) at absolute virtual time t with an
+// explicit scheduling-time tie key pt. Events at equal time execute in
+// ascending (pt, seq) order; At/AtFunc record pt = Now(), which makes
+// that exactly the classic scheduling-sequence order for a lone engine.
+// The sharded runner injects cross-shard arrivals at window barriers —
+// wall-clock long after the peer engine emitted them — and passes the
+// emitting engine's virtual clock as pt, so a serial run and a sharded
+// run resolve same-instant ties (a packet arriving at a queue in the
+// same instant the link frees a slot) identically. pt must not exceed
+// t: an event cannot have been scheduled after it fires.
+func (e *Engine) AtFuncPrio(t, pt float64, fn func(arg any), arg any) Timer {
+	if pt > t {
+		panic(fmt.Sprintf("sim: event at %.9f with scheduling tie key %.9f in its future", t, pt))
+	}
+	return e.schedule(t, pt, nil, fn, arg)
+}
+
+func (e *Engine) schedule(t, pt float64, fn func(), fn1 func(any), arg any) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %.9f before now %.9f", t, e.now))
 	}
@@ -168,9 +187,9 @@ func (e *Engine) schedule(t float64, fn func(), fn1 func(any), arg any) Timer {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.time, ev.seq, ev.fn, ev.fn1, ev.arg, ev.dead = t, e.seq, fn, fn1, arg, false
+		ev.time, ev.pt, ev.seq, ev.fn, ev.fn1, ev.arg, ev.dead = t, pt, e.seq, fn, fn1, arg, false
 	} else {
-		ev = &event{time: t, seq: e.seq, fn: fn, fn1: fn1, arg: arg}
+		ev = &event{time: t, pt: pt, seq: e.seq, fn: fn, fn1: fn1, arg: arg}
 	}
 	if e.rec != nil {
 		e.rec.Ops = append(e.rec.Ops, SchedOp{Kind: SchedPush, Time: t})
@@ -233,6 +252,7 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = ev.time
+		e.curPt = ev.pt
 		e.nRun++
 		fn, fn1, arg := ev.fn, ev.fn1, ev.arg
 		e.release(ev) // safe before fn: generation bump detaches all Timers
@@ -270,6 +290,36 @@ func (e *Engine) RunUntil(t float64) {
 	}
 	if t > e.now {
 		e.now = t
+	}
+}
+
+// RunBelow executes events with time strictly less than t. Unlike
+// RunUntil it neither advances the clock to t nor touches events at
+// exactly t: an event sitting precisely on t stays queued. This is the
+// windowed-execution primitive of the sharded runner — a conservative
+// window [lo, hi) owns only the events below its horizon, and an event
+// exactly on the horizon belongs to the next window, after the barrier
+// has delivered any cross-shard packets that share its timestamp.
+// Dead (cancelled) events at the head are released even beyond t,
+// matching RunUntil.
+func (e *Engine) RunBelow(t float64) {
+	for {
+		ev := e.sched.peek()
+		if ev == nil {
+			return
+		}
+		if ev.dead {
+			e.popEvent()
+			e.cancelled++
+			e.release(ev)
+			continue
+		}
+		if ev.time >= t {
+			return
+		}
+		if !e.Step() {
+			return
+		}
 	}
 }
 

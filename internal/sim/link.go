@@ -6,6 +6,19 @@ import (
 	"qav/internal/metrics"
 )
 
+// LinkOut receives packets leaving a link: Deliver is called at
+// transmit-start time with the absolute instant the packet exits the
+// far end (serialization + propagation already added), Drop with a
+// packet the queue refused. The default output schedules delivery on
+// the link's own engine and releases drops to its pool — exactly the
+// pre-hook behavior, event for event. The sharded dumbbell substitutes
+// a mailbox emitter so both paths cross the shard boundary at the next
+// time barrier instead.
+type LinkOut interface {
+	Deliver(at float64, p *Packet)
+	Drop(p *Packet)
+}
+
 // Link models a store-and-forward output link fed by a Queue: packets are
 // serialized at Rate bytes/s and then delayed by the propagation Delay
 // before being handed to their destination Receiver.
@@ -14,6 +27,10 @@ type Link struct {
 	queue Queue
 	rate  float64 // bytes per second
 	delay float64 // propagation delay, seconds
+
+	// out receives finished packets (deliveries and drops); defaults to
+	// the engine-local engineOut.
+	out LinkOut
 
 	// freeAt is when the current serialization finishes; the link is
 	// busy while Now() < freeAt. wake is the pending "link free" event,
@@ -58,8 +75,20 @@ func NewLink(eng *Engine, q Queue, rate, delay float64) *Link {
 	l := &Link{eng: eng, queue: q, rate: rate, delay: delay}
 	l.deliverFn = l.deliver
 	l.txDoneFn = l.txDone
+	l.out = engineOut{l}
 	return l
 }
+
+// SetOut replaces the link's output. Call before the simulation starts;
+// the default engineOut keeps the serial single-engine behavior.
+func (l *Link) SetOut(out LinkOut) { l.out = out }
+
+// engineOut is the default LinkOut: delivery as one precomputed event
+// on the link's own engine, drops released to its pool.
+type engineOut struct{ l *Link }
+
+func (o engineOut) Deliver(at float64, p *Packet) { o.l.eng.AtFunc(at, o.l.deliverFn, p) }
+func (o engineOut) Drop(p *Packet)                { o.l.eng.pool.Put(p) }
 
 // Rate returns the link bandwidth in bytes per second.
 func (l *Link) Rate() float64 { return l.rate }
@@ -99,7 +128,7 @@ func (l *Link) InstrumentFlows(reg *metrics.Registry, n int) {
 func (l *Link) Offer(p *Packet) {
 	l.offered++
 	if !l.queue.Enqueue(p) {
-		l.eng.pool.Put(p)
+		l.out.Drop(p)
 		return
 	}
 	p.enqAt = l.eng.Now()
@@ -143,7 +172,7 @@ func (l *Link) transmitNext() {
 	if l.queue.Len() > 0 {
 		l.wake = l.eng.AtFunc(l.freeAt, l.txDoneFn, nil)
 	}
-	l.eng.AtFunc(l.freeAt+l.delay, l.deliverFn, p)
+	l.out.Deliver(l.freeAt+l.delay, p)
 }
 
 // txDone fires when serialization finishes: the link may start the next

@@ -2,6 +2,20 @@ package sim
 
 import "qav/internal/metrics"
 
+// Network is the interface packet sources send through: data packets
+// travel the forward path to the bottleneck and on to their receiver,
+// acknowledgements return over the uncongested reverse path. Dumbbell
+// is the serial implementation; ShardedDumbbell's per-shard fronts
+// implement the same contract with the bottleneck on another engine.
+// In both cases the network owns a packet once handed over and
+// eventually releases it to a pool.
+type Network interface {
+	SendData(p *Packet, dst Receiver)
+	SendAck(p *Packet, dst Receiver)
+	// BaseRTT returns the zero-queue round-trip propagation time.
+	BaseRTT() float64
+}
+
 // Dumbbell is the classic single-bottleneck evaluation topology: every
 // source shares one bottleneck queue+link on the forward path, and
 // acknowledgements return over an uncongested reverse path with a fixed

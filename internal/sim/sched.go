@@ -3,8 +3,8 @@ package sim
 import "container/heap"
 
 // scheduler is the engine's pending-event structure. Implementations
-// must pop events in exactly ascending (time, seq) order — the engine's
-// determinism guarantee — and must mark events with idx >= 0 while
+// must pop events in exactly ascending (time, pt, seq) order (evLess) —
+// the engine's determinism guarantee — and must mark events with idx >= 0 while
 // queued and idx == -1 once popped (Timer.Active reads it). Cancelled
 // events are deleted lazily: they stay in the structure, still ordered,
 // and the engine discards them at pop.
@@ -45,16 +45,15 @@ func newScheduler(kind SchedulerKind) scheduler {
 	panic("sim: unknown scheduler kind " + string(kind))
 }
 
-// eventHeap orders events by time, then scheduling sequence — the
-// reference (time, seq) order every scheduler must reproduce.
+// eventHeap orders events by time, then the scheduling-time tie key,
+// then scheduling sequence — the reference (time, pt, seq) order every
+// scheduler must reproduce (see evLess for why this equals the classic
+// (time, seq) order on a lone engine).
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
+	return evLess(h[i], h[j])
 }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]

@@ -50,7 +50,7 @@ func (c *Config) setDefaults() {
 type Source struct {
 	cfg Config
 	eng *sim.Engine
-	net *sim.Dumbbell
+	net sim.Network
 
 	cwnd     float64 // packets
 	ssthresh float64
@@ -88,7 +88,7 @@ type Source struct {
 }
 
 // NewSource creates a TCP source and its paired sink on net.
-func NewSource(eng *sim.Engine, net *sim.Dumbbell, cfg Config) *Source {
+func NewSource(eng *sim.Engine, net sim.Network, cfg Config) *Source {
 	cfg.setDefaults()
 	s := &Source{
 		cfg:        cfg,

@@ -1,13 +1,17 @@
 #!/bin/sh
-# Runs the headline simulation benchmarks and writes BENCH_PR5.json
+# Runs the headline simulation benchmarks and writes BENCH_PR6.json
 # (ns/op, B/op, allocs/op per benchmark, plus deltas against the
-# recorded pre-pooling baseline; the Fleet/1000 entry carries events/sec
-# and packets/sec with the map-scoreboard run as its baseline). Also
-# archives BENCH_REPORT.json, an instrumented reference-run report (the
-# Figure 11 scenario's full metrics snapshot: engine, queue-delay
-# quantiles, transports, QA), so behavioural drift diffs alongside the
-# perf numbers. Pass -quick to skip the long TablesSweep and 1000-flow
-# Fleet runs; any arguments are forwarded to qabench.
+# recorded baselines; the Fleet/1000 entry carries events/sec and
+# packets/sec with the map-scoreboard run as its baseline, and the
+# Fleet/10000 entries measure the same 10000-flow workload at shard
+# counts 1, 2, and 4 with the shards4 run paired against the serial run
+# so the parallel speedup — or, on a single-core host, the barrier
+# overhead — reads as a delta). Also archives BENCH_REPORT.json, an
+# instrumented reference-run report (the Figure 11 scenario's full
+# metrics snapshot: engine, queue-delay quantiles, transports, QA), so
+# behavioural drift diffs alongside the perf numbers. Pass -quick to
+# skip the long TablesSweep, 1000-flow, and 10000-flow Fleet runs; any
+# arguments are forwarded to qabench.
 set -eu
 cd "$(dirname "$0")/.."
-exec go run ./cmd/qabench -out BENCH_PR5.json -report BENCH_REPORT.json "$@"
+exec go run ./cmd/qabench -out BENCH_PR6.json -report BENCH_REPORT.json "$@"
