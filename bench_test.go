@@ -20,6 +20,7 @@ import (
 	"qav/internal/scenario"
 	"qav/internal/sim"
 	"qav/internal/tcp"
+	"qav/internal/transport"
 )
 
 // BenchmarkFigure1 regenerates Fig 1: the sawtooth transmission rate of
@@ -391,16 +392,16 @@ func TestAllocFreeSteadyStateCrossTraffic(t *testing.T) {
 	net := sim.NewDumbbell(eng, sim.DumbbellConfig{
 		Rate: 125_000, Delay: 0.01, AccessDelay: 0.005, QueueBytes: 1 << 16,
 	})
-	rapSrc := scenario.NewRAPSource(eng, net, 1, rap.Config{
+	rapSrc := scenario.NewRAPSource(eng, net, 1, transport.NewRAP(rap.Config{
 		PacketSize: 512, MaxRate: 30_000, InitialRTT: 0.04,
-	}, 0)
+	}), 0)
 	tcpSrc := tcp.NewSource(eng, net, tcp.Config{
 		FlowID: 2, PacketSize: 512, MaxCwnd: 8, InitialRTT: 0.04,
 	})
 	reg := metrics.NewRegistry()
 	net.Instrument(reg)
 	net.Bneck.InstrumentFlows(reg, 3)
-	rapSrc.Snd.Instrument(reg, "rap", rap.NewInstruments(reg, "rap"))
+	rapSrc.Tr.Instrument(reg, "rap", transport.NewInstruments(reg, "rap"))
 	tcpSrc.Instrument(reg, "tcp", tcp.NewInstruments(reg, "tcp"))
 	// Warm up past slow start and the AIMD ramp so maps, rings, the
 	// event free list, and the packet pool all reach their high-water
@@ -412,11 +413,11 @@ func TestAllocFreeSteadyStateCrossTraffic(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("steady-state RAP+TCP cross traffic allocates %.1f times per 0.5s slice, want 0", allocs)
 	}
-	if rapSrc.Snd.Lost != 0 || tcpSrc.RetransPkts != 0 {
+	if rapSrc.Tr.Counters().Lost != 0 || tcpSrc.RetransPkts != 0 {
 		t.Fatalf("measurement window saw loss (rap=%d tcp=%d retrans); rates are miscapped and the test is measuring the loss path",
-			rapSrc.Snd.Lost, tcpSrc.RetransPkts)
+			rapSrc.Tr.Counters().Lost, tcpSrc.RetransPkts)
 	}
-	if rapSrc.Snd.Acked == 0 || tcpSrc.AckedPkts == 0 {
+	if rapSrc.Tr.Counters().Acked == 0 || tcpSrc.AckedPkts == 0 {
 		t.Fatal("no traffic flowed; test is vacuous")
 	}
 	// Every instrumented record site must actually have fired during the

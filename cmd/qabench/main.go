@@ -35,6 +35,7 @@ import (
 	"qav/internal/scenario"
 	"qav/internal/sim"
 	"qav/internal/tcp"
+	"qav/internal/transport"
 )
 
 // baseline is the pre-optimization measurement (allocating hot path:
@@ -131,10 +132,11 @@ func main() {
 	// sharded engine to the serial one), pairing shards4 against the
 	// serial run so the parallel speedup reads as a delta; on a
 	// single-core host the pair documents the barrier overhead instead.
-	fleetBench := func(flows, shards int, dur float64, board tcp.ScoreboardKind) func(b *testing.B) {
+	fleetBench := func(flows, shards int, dur float64, board tcp.ScoreboardKind, tr transport.Kind) func(b *testing.B) {
 		return func(b *testing.B) {
 			cfg := scenario.MustPreset("Fleet",
-				scenario.WithFlows(flows), scenario.WithScale(figures.DefaultScale))
+				scenario.WithFlows(flows), scenario.WithScale(figures.DefaultScale),
+				scenario.WithTransport(tr))
 			cfg.Duration = dur
 			cfg.Board = board
 			cfg.Shards = shards
@@ -186,12 +188,18 @@ func main() {
 				}
 			}
 		}},
-		{"Fleet/100", false, fleetBench(100, 1, 5, tcp.BoardWindowed)},
-		{"Fleet/1000-map", true, fleetBench(1000, 1, 5, tcp.BoardMap)},
-		{"Fleet/1000", true, fleetBench(1000, 1, 5, tcp.BoardWindowed)},
-		{"Fleet/10000", true, fleetBench(10_000, 1, 2, tcp.BoardWindowed)},
-		{"Fleet/10000-shards2", true, fleetBench(10_000, 2, 2, tcp.BoardWindowed)},
-		{"Fleet/10000-shards4", true, fleetBench(10_000, 4, 2, tcp.BoardWindowed)},
+		{"Fleet/100", false, fleetBench(100, 1, 5, tcp.BoardWindowed, transport.KindRAP)},
+		{"Fleet/1000-map", true, fleetBench(1000, 1, 5, tcp.BoardMap, transport.KindRAP)},
+		{"Fleet/1000", true, fleetBench(1000, 1, 5, tcp.BoardWindowed, transport.KindRAP)},
+		// The per-transport trio: the same 1000-flow workload on each
+		// congestion-control backend, A/B-paired against the RAP leg so
+		// the cost of the Kalman/overuse path (delay) and the slow-start
+		// probe (greedy) read as deltas.
+		{"Fleet/1000-delay", true, fleetBench(1000, 1, 5, tcp.BoardWindowed, transport.KindDelay)},
+		{"Fleet/1000-greedy", true, fleetBench(1000, 1, 5, tcp.BoardWindowed, transport.KindGreedy)},
+		{"Fleet/10000", true, fleetBench(10_000, 1, 2, tcp.BoardWindowed, transport.KindRAP)},
+		{"Fleet/10000-shards2", true, fleetBench(10_000, 2, 2, tcp.BoardWindowed, transport.KindRAP)},
+		{"Fleet/10000-shards4", true, fleetBench(10_000, 4, 2, tcp.BoardWindowed, transport.KindRAP)},
 		{"Simulator", false, func(b *testing.B) {
 			// Instrumented: the engine and link publish into a live
 			// registry and the queueing-delay histogram records every
@@ -272,6 +280,8 @@ func main() {
 	abPairs := [][2]string{
 		{"Scheduler/calendar", "Scheduler/heap"},
 		{"Fleet/1000", "Fleet/1000-map"},
+		{"Fleet/1000-delay", "Fleet/1000"},
+		{"Fleet/1000-greedy", "Fleet/1000"},
 		{"Fleet/10000-shards4", "Fleet/10000"},
 	}
 	byIdx := make(map[string]int, len(rep.Benchmarks))

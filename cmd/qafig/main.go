@@ -10,6 +10,8 @@
 //	qafig -fig 12           # Fig 12: effect of Kmax
 //	qafig -fig 13           # Fig 13: CBR-burst responsiveness
 //	qafig -tables           # Tables 1 and 2 (Kmax sweep over T1/T2)
+//	qafig -transports       # transport A/B: rap vs delay vs greedy
+//	qafig -fig 11 -transport delay   # any figure on another backend
 //	qafig -all              # everything, summaries only
 //	qafig -fig 11 -scale 1  # raw 800 Kb/s parameterization
 //	qafig -tables -parallel 4   # sweep on 4 workers (0 = all cores)
@@ -36,11 +38,14 @@ import (
 
 	"qav/internal/figures"
 	"qav/internal/scenario"
+	"qav/internal/transport"
 )
 
 func main() {
 	fig := flag.Int("fig", 0, "figure number to regenerate (1, 2, 11, 12, 13)")
 	tables := flag.Bool("tables", false, "regenerate Tables 1 and 2")
+	transports := flag.Bool("transports", false, "run the transport A/B sweep (Fig 11 scenario + Fleet per backend)")
+	transportName := flag.String("transport", "", "congestion-control backend for the figure/table runs: rap (default), delay, greedy")
 	all := flag.Bool("all", false, "regenerate everything (summaries only)")
 	scale := flag.Float64("scale", figures.DefaultScale, "bottleneck scale factor (8 = paper figure axes)")
 	kmax := flag.Int("kmax", 2, "smoothing factor for -fig 11")
@@ -51,13 +56,18 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*fig, *kmax, *scale, *parallel, *tables, *all, *out, *report, *cpuprofile, *memprofile); err != nil {
+	trKind, err := transport.ParseKind(*transportName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qafig:", err)
+		os.Exit(1)
+	}
+	if err := run(*fig, *kmax, *scale, *parallel, *tables, *transports, *all, trKind, *out, *report, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "qafig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, kmax int, scale float64, parallel int, tables, all bool, out, report, cpuprofile, memprofile string) error {
+func run(fig, kmax int, scale float64, parallel int, tables, transports, all bool, trKind transport.Kind, out, report, cpuprofile, memprofile string) error {
 	w := io.Writer(os.Stdout)
 	if out != "" {
 		f, err := os.Create(out)
@@ -90,11 +100,21 @@ func run(fig, kmax int, scale float64, parallel int, tables, all bool, out, repo
 		}()
 	}
 
+	opts := []scenario.PresetOption{scenario.WithTransport(trKind)}
 	switch {
 	case all:
-		return runAll(w, scale, parallel, report)
+		return runAll(w, scale, parallel, report, opts...)
+	case transports:
+		res, err := figures.TransportSweep(scale, parallel)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		return writeReport(report, res.Reports)
 	case tables:
-		cells, reps, err := figures.TablesSweep(nil, scale, parallel)
+		cells, reps, err := figures.TablesSweep(nil, scale, parallel, opts...)
 		if err != nil {
 			return err
 		}
@@ -103,7 +123,7 @@ func run(fig, kmax int, scale float64, parallel int, tables, all bool, out, repo
 		}
 		return writeReport(report, reps)
 	case fig != 0:
-		res, err := runFigure(fig, kmax, scale, parallel)
+		res, err := runFigure(fig, kmax, scale, parallel, opts...)
 		if err != nil {
 			return err
 		}
@@ -136,27 +156,27 @@ func writeReport(path string, reps []scenario.RunReport) error {
 	return scenario.WriteReports(w, reps)
 }
 
-func runFigure(fig, kmax int, scale float64, parallel int) (*figures.Result, error) {
+func runFigure(fig, kmax int, scale float64, parallel int, opts ...scenario.PresetOption) (*figures.Result, error) {
 	switch fig {
 	case 1:
-		return figures.Figure1()
+		return figures.Figure1(opts...)
 	case 2:
-		return figures.Figure2()
+		return figures.Figure2(opts...)
 	case 11:
-		return figures.Figure11(kmax, scale)
+		return figures.Figure11(kmax, scale, opts...)
 	case 12:
-		return figures.Figure12(scale, parallel)
+		return figures.Figure12(scale, parallel, opts...)
 	case 13:
-		return figures.Figure13(scale)
+		return figures.Figure13(scale, opts...)
 	default:
 		return nil, fmt.Errorf("unknown figure %d (have 1, 2, 11, 12, 13)", fig)
 	}
 }
 
-func runAll(w io.Writer, scale float64, parallel int, report string) error {
+func runAll(w io.Writer, scale float64, parallel int, report string, opts ...scenario.PresetOption) error {
 	var reps []scenario.RunReport
 	for _, fig := range []int{1, 2, 11, 12, 13} {
-		res, err := runFigure(fig, 2, scale, parallel)
+		res, err := runFigure(fig, 2, scale, parallel, opts...)
 		if err != nil {
 			return err
 		}
@@ -167,7 +187,7 @@ func runAll(w io.Writer, scale float64, parallel int, report string) error {
 		}
 		fmt.Fprintln(w)
 	}
-	cells, tabReps, err := figures.TablesSweep(nil, scale, parallel)
+	cells, tabReps, err := figures.TablesSweep(nil, scale, parallel, opts...)
 	if err != nil {
 		return err
 	}

@@ -46,6 +46,7 @@ import (
 	"qav/internal/core"
 	"qav/internal/metrics"
 	"qav/internal/scenario"
+	"qav/internal/transport"
 )
 
 func main() {
@@ -66,6 +67,7 @@ func main() {
 	maxLayers := flag.Int("layers", 8, "maximum encoded layers")
 	dur := flag.Float64("dur", 60, "simulated duration, seconds")
 	pkt := flag.Int("pkt", 512, "packet size, bytes")
+	transportName := flag.String("transport", "", "congestion-control backend for QA and cross-traffic flows: rap (default), delay, greedy")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU)")
 	shards := flag.Int("shards", 1, "engines per run: 1 = classic serial, N >= 2 = one bottleneck shard plus N-1 flow shards with identical results (see DESIGN.md, Parallel DES)")
 	tsv := flag.Bool("tsv", false, "dump full time series as TSV")
@@ -76,6 +78,10 @@ func main() {
 	flag.Parse()
 
 	kmaxes, err := parseKmaxes(*kmaxList)
+	if err != nil {
+		fatal(err)
+	}
+	trKind, err := transport.ParseKind(*transportName)
 	if err != nil {
 		fatal(err)
 	}
@@ -120,6 +126,9 @@ func main() {
 			if *flows > 0 {
 				opts = append(opts, scenario.WithFlows(*flows))
 			}
+			if set["transport"] {
+				opts = append(opts, scenario.WithTransport(trKind))
+			}
 			cfg, err = scenario.Preset(presetName, opts...)
 			if err != nil {
 				fatal(err)
@@ -163,6 +172,7 @@ func main() {
 		} else {
 			cfg = scenario.Config{
 				Name:           fmt.Sprintf("custom(Kmax=%d)", kmax),
+				Transport:      trKind,
 				BottleneckRate: *bw,
 				LinkDelay:      *rtt / 4,
 				AccessDelay:    *rtt / 8,
@@ -208,8 +218,14 @@ func main() {
 
 	for i, res := range results {
 		cfg, kmax := cfgs[i], kmaxes[i]
-		fmt.Printf("# %s: bw=%.0fB/s rtt=%.0fms C=%.0fB/s Kmax=%d flows=%dQA+%dRAP+%dTCP\n",
-			cfg.Name, cfg.BottleneckRate, 1000*(2*(cfg.LinkDelay+cfg.AccessDelay)), cfg.QA.C, kmax, cfg.NumQA, cfg.NumRAP, cfg.NumTCP)
+		// Non-default transports are called out in the header; the
+		// default keeps the historical line byte-stable for diffing.
+		trTag := ""
+		if cfg.Transport != "" && cfg.Transport != transport.KindRAP {
+			trTag = fmt.Sprintf(" transport=%s", cfg.Transport)
+		}
+		fmt.Printf("# %s:%s bw=%.0fB/s rtt=%.0fms C=%.0fB/s Kmax=%d flows=%dQA+%dRAP+%dTCP\n",
+			cfg.Name, trTag, cfg.BottleneckRate, 1000*(2*(cfg.LinkDelay+cfg.AccessDelay)), cfg.QA.C, kmax, cfg.NumQA, cfg.NumRAP, cfg.NumTCP)
 		if res.QASrc != nil {
 			fmt.Printf("# qa: avg_rate=%.0f avg_layers=%.2f played=%.1fs stalls=%.2fs\n",
 				res.Series.Get("qa.rate").Avg(),
@@ -218,6 +234,23 @@ func main() {
 			fmt.Printf("# events: adds=%d drops=%d backoffs=%d efficiency=%.2f%% poor-dist=%.1f%%\n",
 				res.Stats.Adds, res.Stats.Drops, res.Stats.Backoffs,
 				100*res.Stats.AvgEfficiency, res.Stats.PoorDistPct)
+		} else if len(res.RAPSrcs) > 0 {
+			// No QA flow (SingleRAP, or a cross-traffic-only custom run):
+			// summarize the congestion-controlled cross traffic under its
+			// actual backend instead of printing QA fields that don't exist.
+			var recv, backoffs, lost int64
+			for _, r := range res.RAPSrcs {
+				recv += r.RecvBytes
+				c := r.Tr.Counters()
+				backoffs += c.Backoffs
+				lost += c.Lost
+			}
+			kind := cfg.Transport
+			if kind == "" {
+				kind = transport.KindRAP
+			}
+			fmt.Printf("# %s: flows=%d goodput=%.0fB/s backoffs=%d lost=%d\n",
+				kind, len(res.RAPSrcs), float64(recv)/cfg.Duration, backoffs, lost)
 		}
 		if cfg.MaxTraceFlows > 0 {
 			fs := res.Report().Fleet

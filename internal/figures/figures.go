@@ -18,6 +18,7 @@ import (
 	"qav/internal/metrics"
 	"qav/internal/scenario"
 	"qav/internal/trace"
+	"qav/internal/transport"
 )
 
 // DefaultScale reproduces the paper's published figure axes
@@ -82,8 +83,8 @@ func (r *Result) Render(w io.Writer) error {
 
 // Figure1 regenerates the RAP sawtooth trace: one RAP flow alone on a
 // small bottleneck, transmission rate vs time against the link bandwidth.
-func Figure1() (*Result, error) {
-	cfg := instrumented(scenario.MustPreset("SingleRAP"))
+func Figure1(opts ...scenario.PresetOption) (*Result, error) {
+	cfg := instrumented(scenario.MustPreset("SingleRAP", opts...))
 	res, err := scenario.Run(cfg)
 	if err != nil {
 		return nil, err
@@ -99,7 +100,7 @@ func Figure1() (*Result, error) {
 		lnk.Add(rate.T[i], cfg.BottleneckRate)
 	}
 	out.fact("avg_rate", rate.AvgBetween(10, cfg.Duration), "average of sawtooth; paper: hunts around fair share")
-	out.fact("backoffs", float64(res.RAPSrcs[0].Snd.Backoffs), "multiplicative decreases (sawtooth teeth)")
+	out.fact("backoffs", float64(res.RAPSrcs[0].Tr.Counters().Backoffs), "multiplicative decreases (sawtooth teeth)")
 	out.fact("link_bw", cfg.BottleneckRate, "bottleneck bandwidth (B/s)")
 	return out, nil
 }
@@ -107,8 +108,8 @@ func Figure1() (*Result, error) {
 // Figure2 regenerates the conceptual filling/draining demonstration: a
 // single QA flow whose receiver buffers absorb backoffs while layers
 // keep playing.
-func Figure2() (*Result, error) {
-	cfg := instrumented(scenario.MustPreset("SingleQA", scenario.WithKmax(2)))
+func Figure2(opts ...scenario.PresetOption) (*Result, error) {
+	cfg := instrumented(scenario.MustPreset("SingleQA", append([]scenario.PresetOption{scenario.WithKmax(2)}, opts...)...))
 	res, err := scenario.Run(cfg)
 	if err != nil {
 		return nil, err
@@ -128,8 +129,8 @@ func Figure2() (*Result, error) {
 // Figure11 regenerates the detailed T1 trace: total transmit and
 // consumption rate, per-layer transmit-rate breakdown, per-layer drain
 // rate, and per-layer buffered data, with Kmax = 2 as in the paper.
-func Figure11(kmax int, scale float64) (*Result, error) {
-	cfg := instrumented(scenario.MustPreset("T1", scenario.WithKmax(kmax), scenario.WithScale(scale)))
+func Figure11(kmax int, scale float64, opts ...scenario.PresetOption) (*Result, error) {
+	cfg := instrumented(scenario.MustPreset("T1", append([]scenario.PresetOption{scenario.WithKmax(kmax), scenario.WithScale(scale)}, opts...)...))
 	cfg.Duration = 40 // the paper shows the first 40 seconds
 	res, err := scenario.Run(cfg)
 	if err != nil {
@@ -153,12 +154,12 @@ func Figure11(kmax int, scale float64) (*Result, error) {
 // per-layer buffering for Kmax in {2, 3, 4}. The three runs are
 // independent simulations and execute concurrently on workers goroutines
 // (<= 0 means one per CPU); results are identical to the sequential path.
-func Figure12(scale float64, workers int) (*Result, error) {
+func Figure12(scale float64, workers int, opts ...scenario.PresetOption) (*Result, error) {
 	out := &Result{Name: "Figure 12: effect of Kmax on buffering and quality", Series: trace.NewSet()}
 	kmaxes := []int{2, 3, 4}
 	cfgs := make([]scenario.Config, len(kmaxes))
 	for i, kmax := range kmaxes {
-		cfgs[i] = instrumented(scenario.MustPreset("T1", scenario.WithKmax(kmax), scenario.WithScale(scale)))
+		cfgs[i] = instrumented(scenario.MustPreset("T1", append([]scenario.PresetOption{scenario.WithKmax(kmax), scenario.WithScale(scale)}, opts...)...))
 	}
 	results, err := scenario.RunAll(cfgs, workers)
 	if err != nil {
@@ -189,8 +190,8 @@ func Figure12(scale float64, workers int) (*Result, error) {
 
 // Figure13 regenerates the responsiveness experiment: T2's CBR source at
 // half the bottleneck bandwidth from t=30s to t=60s, Kmax = 4.
-func Figure13(scale float64) (*Result, error) {
-	cfg := instrumented(scenario.MustPreset("T2", scenario.WithKmax(4), scenario.WithScale(scale)))
+func Figure13(scale float64, opts ...scenario.PresetOption) (*Result, error) {
+	cfg := instrumented(scenario.MustPreset("T2", append([]scenario.PresetOption{scenario.WithKmax(4), scenario.WithScale(scale)}, opts...)...))
 	res, err := scenario.Run(cfg)
 	if err != nil {
 		return nil, err
@@ -220,7 +221,7 @@ type TableCell struct {
 // goroutines (<= 0 means one per CPU); cell values are identical to the
 // sequential path because each run owns its engine and RNGs. The second
 // return value is one run report per cell, in cell order.
-func TablesSweep(kmaxes []int, scale float64, workers int) ([]TableCell, []scenario.RunReport, error) {
+func TablesSweep(kmaxes []int, scale float64, workers int, opts ...scenario.PresetOption) ([]TableCell, []scenario.RunReport, error) {
 	if len(kmaxes) == 0 {
 		kmaxes = []int{2, 3, 4, 5, 8}
 	}
@@ -228,7 +229,7 @@ func TablesSweep(kmaxes []int, scale float64, workers int) ([]TableCell, []scena
 	var cells []TableCell
 	for _, test := range []string{"T1", "T2"} {
 		for _, kmax := range kmaxes {
-			cfgs = append(cfgs, instrumented(scenario.MustPreset(test, scenario.WithKmax(kmax), scenario.WithScale(scale))))
+			cfgs = append(cfgs, instrumented(scenario.MustPreset(test, append([]scenario.PresetOption{scenario.WithKmax(kmax), scenario.WithScale(scale)}, opts...)...)))
 			cells = append(cells, TableCell{Test: test, Kmax: kmax})
 		}
 	}
@@ -305,4 +306,72 @@ func RenderTables(w io.Writer, cells []TableCell) error {
 		}
 		return fmt.Sprintf("%.1f%%", c.PoorDistPct)
 	})
+}
+
+// TransportKinds are the backends the A/B sweep compares, in sweep
+// order: the paper's RAP reference, the delay-based (GCC-style)
+// controller, and the loss-greedy baseline.
+func TransportKinds() []transport.Kind {
+	return []transport.Kind{transport.KindRAP, transport.KindDelay, transport.KindGreedy}
+}
+
+// TransportSweep runs the transport A/B comparison: for each backend it
+// runs the paper's Figure 11 scenario (T1, Kmax=2, first 40 seconds)
+// and the Fleet preset, and emits a comparative result — per-backend QA
+// rate series plus matched facts (rate, layers, stalls, losses,
+// backoffs, fleet goodput split, TCP fairness). The question the sweep
+// answers is the ROADMAP's: does QA's buffer-distribution math survive
+// a controller that backs off before loss (delay), and what does a
+// standing-queue adversary (greedy) do to it? All 2×3 simulations are
+// independent and execute concurrently on workers goroutines (<= 0
+// means one per CPU).
+func TransportSweep(scale float64, workers int) (*Result, error) {
+	kinds := TransportKinds()
+	var cfgs []scenario.Config
+	for _, k := range kinds {
+		t1 := instrumented(scenario.MustPreset("T1",
+			scenario.WithKmax(2), scenario.WithScale(scale), scenario.WithTransport(k)))
+		t1.Duration = 40 // match Figure11: the paper shows the first 40 seconds
+		fleet := instrumented(scenario.MustPreset("Fleet",
+			scenario.WithKmax(2), scenario.WithScale(scale), scenario.WithTransport(k)))
+		cfgs = append(cfgs, t1, fleet)
+	}
+	results, err := scenario.RunAll(cfgs, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Name:   "Transport A/B: rap vs delay vs greedy (Fig 11 scenario + Fleet)",
+		Series: trace.NewSet(),
+	}
+	for _, res := range results {
+		out.Reports = append(out.Reports, res.Report())
+	}
+	for i, k := range kinds {
+		t1, fleet := results[2*i], results[2*i+1]
+		rate := t1.Series.Get("qa.rate")
+		layers := t1.Series.Get("qa.layers")
+		dstR := out.Series.Series(fmt.Sprintf("%s.qa.rate", k))
+		dstL := out.Series.Series(fmt.Sprintf("%s.qa.layers", k))
+		for j := range rate.T {
+			dstR.Add(rate.T[j], rate.V[j])
+			dstL.Add(layers.T[j], layers.V[j])
+		}
+		ctr := t1.QASrc.Tr.Counters()
+		out.fact(fmt.Sprintf("%s.avg_rate", k), rate.AvgBetween(10, 40), "QA transmission rate, Fig 11 scenario (B/s)")
+		out.fact(fmt.Sprintf("%s.avg_layers", k), layers.AvgBetween(10, 40), "active layers")
+		out.fact(fmt.Sprintf("%s.stall_sec", k), t1.StallSec, "playback stalls (s)")
+		out.fact(fmt.Sprintf("%s.backoffs", k), float64(ctr.Backoffs), "rate decreases (loss or overuse)")
+		out.fact(fmt.Sprintf("%s.lost_pkts", k), float64(ctr.Lost), "QA data packets inferred lost")
+		if t1.Stats.Drops > 0 {
+			out.fact(fmt.Sprintf("%s.efficiency", k), 100*t1.Stats.AvgEfficiency, "buffering efficiency over drops (%)")
+			out.fact(fmt.Sprintf("%s.poor_dist_pct", k), t1.Stats.PoorDistPct, "drops from poor buffer distribution (%)")
+		}
+		fs := fleet.Report().Fleet
+		out.fact(fmt.Sprintf("%s.fleet_qa_goodput", k), fs.QAGoodputBps, "Fleet QA goodput (B/s)")
+		out.fact(fmt.Sprintf("%s.fleet_tcp_goodput", k), fs.TCPGoodputBps, "Fleet TCP goodput (B/s)")
+		out.fact(fmt.Sprintf("%s.fleet_jain_tcp", k), fs.JainFairnessTCP, "Jain fairness across Fleet TCP flows")
+		out.Run = t1
+	}
+	return out, nil
 }

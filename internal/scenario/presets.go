@@ -5,14 +5,16 @@ import (
 	"sort"
 
 	"qav/internal/core"
+	"qav/internal/transport"
 )
 
 // presetOpts are the knobs a preset builder consumes. Options mutate
 // this struct; builders read it.
 type presetOpts struct {
-	kmax  int
-	scale float64
-	flows int
+	kmax      int
+	scale     float64
+	flows     int
+	transport transport.Kind
 }
 
 // PresetOption adjusts a preset's parameters; see WithKmax and
@@ -34,6 +36,14 @@ func WithScale(s float64) PresetOption { return func(o *presetOpts) { o.scale = 
 // scale with the flow count so each flow's fair share stays constant.
 // Ignored by the fixed-population paper presets.
 func WithFlows(n int) PresetOption { return func(o *presetOpts) { o.flows = n } }
+
+// WithTransport selects the congestion-control backend for the preset's
+// QA and cross-traffic flows (default transport.KindRAP). Non-default
+// backends are recorded in the config name ("T1(Kmax=2)+delay") so A/B
+// sweeps sharing a report file stay distinguishable.
+func WithTransport(k transport.Kind) PresetOption {
+	return func(o *presetOpts) { o.transport = k }
+}
 
 // presets maps preset names to builders. Builders receive validated
 // options and must return a complete config (Run still normalizes it).
@@ -86,7 +96,18 @@ func Preset(name string, opts ...PresetOption) (Config, error) {
 	if o.flows < 0 {
 		return Config{}, fmt.Errorf("scenario: preset %q: flows must be >= 0, got %d", name, o.flows)
 	}
-	return build(o), nil
+	kind, err := transport.ParseKind(string(o.transport))
+	if err != nil {
+		return Config{}, fmt.Errorf("scenario: preset %q: %v", name, err)
+	}
+	cfg := build(o)
+	cfg.Transport = kind
+	if kind != transport.KindRAP {
+		// The default backend keeps historical names byte-stable; A/B
+		// legs self-identify.
+		cfg.Name += "+" + string(kind)
+	}
+	return cfg, nil
 }
 
 // MustPreset is Preset, panicking on error; for static configurations

@@ -14,7 +14,10 @@ import (
 // marshal with sorted keys, so two identical runs produce byte-identical
 // reports regardless of how many workers executed the sweep around them.
 type RunReport struct {
-	Name       string           `json:"name"`
+	Name string `json:"name"`
+	// Transport names the congestion-control backend the run's QA and
+	// cross-traffic flows used ("rap", "delay", "greedy").
+	Transport  string           `json:"transport"`
 	Config     Config           `json:"config"`
 	PlayedSec  float64          `json:"played_sec"`
 	StallSec   float64          `json:"stall_sec"`
@@ -100,6 +103,7 @@ func jainIndex(sum, sumSq float64, n int) float64 {
 func (r *Result) Report() RunReport {
 	rep := RunReport{
 		Name:      r.Cfg.Name,
+		Transport: string(r.Cfg.Transport),
 		Config:    r.Cfg,
 		PlayedSec: r.PlayedSec,
 		StallSec:  r.StallSec,

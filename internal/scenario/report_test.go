@@ -69,6 +69,9 @@ func TestReportContainsAllLayers(t *testing.T) {
 	if rep.Name != cfg.Name || rep.PlayedSec <= 0 {
 		t.Fatalf("report header wrong: %+v", rep)
 	}
+	if rep.Transport != "rap" {
+		t.Fatalf("report transport %q, want rap (the preset default)", rep.Transport)
+	}
 	snap := rep.Metrics
 	for _, name := range []string{
 		"sim.events.scheduled", "sim.events.executed",
@@ -115,7 +118,7 @@ func TestReportContainsAllLayers(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"name", "config", "played_sec", "stall_sec", "mean_layers", "drops", "fleet", "metrics"} {
+	for _, key := range []string{"name", "transport", "config", "played_sec", "stall_sec", "mean_layers", "drops", "fleet", "metrics"} {
 		if _, ok := top[key]; !ok {
 			t.Errorf("report JSON missing top-level key %q", key)
 		}

@@ -91,16 +91,16 @@ func startSampler(eng *sim.Engine, net *sim.Dumbbell, cfg Config, res *Result) {
 		for qi, q := range res.QASrcs {
 			// Tick every controller — consumption/playback dynamics —
 			// whether or not the flow is traced.
-			q.Ctrl.Tick(now, q.Snd.Rate(), q.Snd.ConservativeSlope())
+			q.Ctrl.Tick(now, q.Tr.Rate(), q.Tr.ConservativeSlope())
 			if qi == 0 {
 				full.sample(now, q)
 			} else if qi-1 < len(sQA) {
-				sQA[qi-1].Add(now, q.Snd.Rate())
+				sQA[qi-1].Add(now, q.Tr.Rate())
 			}
 		}
 		for i, r := range res.RAPSrcs {
 			if i < len(sRap) {
-				sRap[i].Add(now, r.Snd.Rate())
+				sRap[i].Add(now, r.Tr.Rate())
 			}
 		}
 		for i, s := range sTCP {
@@ -112,10 +112,10 @@ func startSampler(eng *sim.Engine, net *sim.Dumbbell, cfg Config, res *Result) {
 		if fleet {
 			qaRate, rapRate := 0.0, 0.0
 			for _, q := range res.QASrcs {
-				qaRate += q.Snd.Rate()
+				qaRate += q.Tr.Rate()
 			}
 			for _, r := range res.RAPSrcs {
-				rapRate += r.Snd.Rate()
+				rapRate += r.Tr.Rate()
 			}
 			sFleetQA.Add(now, qaRate)
 			sFleetRap.Add(now, rapRate)
@@ -193,7 +193,7 @@ func newQATrace(series func(string) *trace.Series, cfg *Config) *qaTrace {
 // sample records one tick for q at virtual time now. The caller has
 // already ticked q's controller.
 func (qt *qaTrace) sample(now float64, q *QASource) {
-	qt.sRate.Add(now, q.Snd.Rate())
+	qt.sRate.Add(now, q.Tr.Rate())
 	qt.sCons.Add(now, q.Ctrl.ConsumptionRate())
 	qt.sLayers.Add(now, float64(q.Ctrl.ActiveLayers()))
 	qt.sBufTotal.Add(now, q.Ctrl.TotalBuf())

@@ -11,6 +11,9 @@ import (
 	"qav/internal/sim"
 	"qav/internal/tcp"
 	"qav/internal/trace"
+	"qav/internal/transport"
+	"qav/internal/transport/delay"
+	"qav/internal/transport/greedy"
 )
 
 // Config describes one evaluation run. The zero value is not valid; use
@@ -36,6 +39,13 @@ type Config struct {
 	CBRRate      float64 // bytes/s; 0 = no CBR source
 	CBRStart     float64
 	CBRStop      float64
+
+	// Transport selects the congestion-control backend driving the QA
+	// and cross-traffic flows ("" or transport.KindRAP = the paper's
+	// RAP; transport.KindDelay = GCC-style delay-based;
+	// transport.KindGreedy = loss-only throughput-greedy). TCP and CBR
+	// sources are unaffected.
+	Transport transport.Kind
 
 	// Quality adaptation parameters.
 	QA core.Params
@@ -114,6 +124,14 @@ func (cfg *Config) Normalize() error {
 	}
 	if cfg.PacketSize <= 0 {
 		cfg.PacketSize = 512
+	}
+	kind, err := transport.ParseKind(string(cfg.Transport))
+	if err != nil {
+		return err
+	}
+	cfg.Transport = kind
+	if cfg.FineGrainRAP && kind != transport.KindRAP {
+		return fmt.Errorf("scenario: FineGrainRAP requires the rap transport, got %q", kind)
 	}
 	// WithQA is shorthand for one QA flow; NumQA > 0 implies WithQA so
 	// both spellings normalize to the same effective config.
@@ -228,13 +246,31 @@ func buildFlows(cfg Config, res *Result, baseRTT float64, place placement) (int,
 	if qaShare < 1 {
 		qaShare = 1
 	}
-	rapCfg := func() rap.Config {
-		return rap.Config{
-			PacketSize: cfg.PacketSize,
-			InitialRTT: baseRTT,
-			// Start around one fair share to shorten convergence.
-			InitialRate: cfg.BottleneckRate / float64(qaShare+cfg.NumRAP+cfg.NumTCP),
-			FineGrain:   cfg.FineGrainRAP,
+	// Start around one fair share to shorten convergence. The expression
+	// is kept verbatim from the pre-transport code: it seeds every
+	// backend, and for RAP it must stay bit-identical.
+	initialRate := cfg.BottleneckRate / float64(qaShare+cfg.NumRAP+cfg.NumTCP)
+	newTr := func() transport.Transport {
+		switch cfg.Transport {
+		case transport.KindDelay:
+			return delay.New(delay.Config{Base: transport.BaseConfig{
+				PacketSize:  cfg.PacketSize,
+				InitialRTT:  baseRTT,
+				InitialRate: initialRate,
+			}})
+		case transport.KindGreedy:
+			return greedy.New(greedy.Config{Base: transport.BaseConfig{
+				PacketSize:  cfg.PacketSize,
+				InitialRTT:  baseRTT,
+				InitialRate: initialRate,
+			}})
+		default:
+			return transport.NewRAP(rap.Config{
+				PacketSize:  cfg.PacketSize,
+				InitialRTT:  baseRTT,
+				InitialRate: initialRate,
+				FineGrain:   cfg.FineGrainRAP,
+			})
 		}
 	}
 
@@ -246,7 +282,7 @@ func buildFlows(cfg Config, res *Result, baseRTT float64, place placement) (int,
 		// The first QA flow starts at 0 like the paper runs; additional
 		// fleet flows stagger to avoid phase locking.
 		eng, net := place(flowID)
-		res.QASrcs = append(res.QASrcs, NewQASource(eng, net, flowID, rapCfg(), ctrl, stagger(i, 0.097)))
+		res.QASrcs = append(res.QASrcs, NewQASource(eng, net, flowID, newTr(), ctrl, stagger(i, 0.097)))
 		flowID++
 	}
 	if len(res.QASrcs) > 0 {
@@ -255,7 +291,7 @@ func buildFlows(cfg Config, res *Result, baseRTT float64, place placement) (int,
 	for i := 0; i < cfg.NumRAP; i++ {
 		// Stagger starts slightly to avoid phase locking.
 		eng, net := place(flowID)
-		res.RAPSrcs = append(res.RAPSrcs, NewRAPSource(eng, net, flowID, rapCfg(), stagger(i, 0.111)))
+		res.RAPSrcs = append(res.RAPSrcs, NewRAPSource(eng, net, flowID, newTr(), stagger(i, 0.111)))
 		flowID++
 	}
 	for i := 0; i < cfg.NumTCP; i++ {
@@ -341,21 +377,32 @@ func instrument(reg *metrics.Registry, net *sim.Dumbbell, res *Result, nflows in
 // instruments, shared between the serial and sharded paths (the
 // shared Instruments use atomic histograms and snapshot-time Func
 // reads, so multi-engine execution records into them safely).
+//
+// Transport namespaces derive from the backend kind — "qa.<kind>" for
+// the QA flows and "<kind>" for cross traffic — so the default RAP
+// backend keeps the historical "qa.rap.*"/"rap.*" names byte-stable
+// while delay/greedy runs report under their own ("qa.delay.*", ...).
 func instrumentSources(reg *metrics.Registry, res *Result) {
+	kind := res.Cfg.Transport
+	if kind == "" {
+		kind = transport.KindRAP
+	}
 	if len(res.QASrcs) > 0 {
-		// Shared instruments, like rap./tcp. below: counters aggregate
-		// and Func metrics sum across a fleet's QA flows.
-		rapIns := rap.NewInstruments(reg, "qa.rap")
+		// Shared instruments, like the cross-traffic/tcp. ones below:
+		// counters aggregate and Func metrics sum across a fleet's QA
+		// flows.
+		prefix := "qa." + string(kind)
+		trIns := transport.NewInstruments(reg, prefix)
 		coreIns := core.NewInstruments(reg, "qa")
 		for _, q := range res.QASrcs {
-			q.Snd.Instrument(reg, "qa.rap", rapIns)
+			q.Tr.Instrument(reg, prefix, trIns)
 			q.Ctrl.Instrument(reg, "qa", coreIns)
 		}
 	}
 	if len(res.RAPSrcs) > 0 {
-		ins := rap.NewInstruments(reg, "rap")
+		ins := transport.NewInstruments(reg, string(kind))
 		for _, r := range res.RAPSrcs {
-			r.Snd.Instrument(reg, "rap", ins)
+			r.Tr.Instrument(reg, string(kind), ins)
 		}
 	}
 	if len(res.TCPSrcs) > 0 {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"qav/internal/core"
+	"qav/internal/transport"
 )
 
 func TestSingleRAPSawtooth(t *testing.T) {
@@ -25,8 +26,8 @@ func TestSingleRAPSawtooth(t *testing.T) {
 	if avg < 0.5*cfg.BottleneckRate || avg > 1.45*cfg.BottleneckRate {
 		t.Fatalf("avg rate %.0f not around bottleneck %.0f", avg, cfg.BottleneckRate)
 	}
-	if res.RAPSrcs[0].Snd.Backoffs < 5 {
-		t.Fatalf("only %d backoffs in 40s; expected a sawtooth", res.RAPSrcs[0].Snd.Backoffs)
+	if res.RAPSrcs[0].Tr.Counters().Backoffs < 5 {
+		t.Fatalf("only %d backoffs in 40s; expected a sawtooth", res.RAPSrcs[0].Tr.Counters().Backoffs)
 	}
 	// Utilization: the flow should not collapse.
 	if res.RAPSrcs[0].RecvBytes < int64(0.4*cfg.BottleneckRate*cfg.Duration) {
@@ -231,7 +232,7 @@ func TestFineGrainVariantRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.QASrc.Snd.FineGrainFactor() <= 0 {
+	if res.QASrc.Tr.(*transport.RAP).Sender().FineGrainFactor() <= 0 {
 		t.Fatal("fine grain factor not live")
 	}
 	if res.StallSec > 2 {

@@ -181,18 +181,18 @@ func (t *shardTicker) tick() {
 		q := qs.src
 		// Tick every controller — consumption/playback dynamics —
 		// whether or not the flow is traced.
-		q.Ctrl.Tick(now, q.Snd.Rate(), q.Snd.ConservativeSlope())
+		q.Ctrl.Tick(now, q.Tr.Rate(), q.Tr.ConservativeSlope())
 		if qs.full != nil {
 			qs.full.sample(now, q)
 		} else if qs.series != nil {
-			qs.series.Add(now, q.Snd.Rate())
+			qs.series.Add(now, q.Tr.Rate())
 		}
 		if slot != nil {
-			slot.qaRate[qs.global] = q.Snd.Rate()
+			slot.qaRate[qs.global] = q.Tr.Rate()
 		}
 	}
 	for _, rs := range t.raps {
-		rate := rs.src.Snd.Rate()
+		rate := rs.src.Tr.Rate()
 		if rs.series != nil {
 			rs.series.Add(now, rate)
 		}

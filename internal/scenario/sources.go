@@ -6,21 +6,26 @@ package scenario
 
 import (
 	"qav/internal/core"
-	"qav/internal/rap"
 	"qav/internal/sim"
+	"qav/internal/transport"
 )
 
-// RAPSource is a plain (non-adaptive-quality) RAP flow with an infinite
-// backlog, used as congestion-controlled cross traffic.
-type RAPSource struct {
-	Snd *rap.Sender
+// ccFlow is the transport-driven flow driver shared by every
+// congestion-controlled scenario source. It owns the four event paths a
+// flow has — paced sends, periodic steps, data delivery at the sink,
+// ACK return — and drives whichever transport.Transport backend the
+// flow was built with. Role-specific behaviour (the QA source's layer
+// accounting) hangs off the nil-guarded hooks; plain cross-traffic
+// leaves them nil and pays nothing.
+type ccFlow struct {
+	// Tr is the congestion-control backend driving this flow.
+	Tr transport.Transport
 
 	eng     *sim.Engine
 	net     sim.Network
 	flowID  int
 	pktSize int
 	ackSize int
-	start   float64
 	sink    sim.Receiver
 	ackSink sim.Receiver
 
@@ -29,76 +34,109 @@ type RAPSource struct {
 	sendFn func()
 	stepFn func()
 
+	// pick chooses the layer for the next packet (QA); when nil the
+	// packet's Layer keeps the pool's zero value, as plain flows always
+	// sent.
+	pick func(now float64) int
+	// sent observes each transmission (seq, layer from pick or 0).
+	sent func(seq int64, layer int)
+	// delivered observes each acknowledged sequence.
+	delivered func(now float64, seq int64)
+	// backoff observes each rate decrease the transport reports; the
+	// *transport.Backoff is only valid for the duration of the call.
+	backoff func(now float64, b *transport.Backoff)
+
 	// RecvBytes counts payload bytes delivered to the sink.
 	RecvBytes int64
 }
 
-// NewRAPSource creates a RAP cross-traffic flow starting at start.
-func NewRAPSource(eng *sim.Engine, net sim.Network, flowID int, cfg rap.Config, start float64) *RAPSource {
-	r := &RAPSource{
-		Snd:     rap.NewSender(cfg),
-		eng:     eng,
-		net:     net,
-		flowID:  flowID,
-		pktSize: cfg.PacketSize,
-		ackSize: 40,
-		start:   start,
+func (f *ccFlow) init(eng *sim.Engine, net sim.Network, flowID int, tr transport.Transport) {
+	f.Tr = tr
+	f.eng = eng
+	f.net = net
+	f.flowID = flowID
+	f.pktSize = tr.PacketSize()
+	f.ackSize = 40
+	f.sink = sim.ReceiverFunc(f.recvData)
+	f.ackSink = sim.ReceiverFunc(f.recvAck)
+	f.sendFn = f.sendLoop
+	f.stepFn = f.stepLoop
+}
+
+// start schedules the send and step loops; hooks must be set before the
+// engine runs.
+func (f *ccFlow) start(at float64) {
+	f.eng.At(at, f.sendFn)
+	f.eng.At(at, f.stepFn)
+}
+
+func (f *ccFlow) sendLoop() {
+	now := f.eng.Now()
+	layer := 0
+	picked := f.pick != nil
+	if picked {
+		layer = f.pick(now)
 	}
-	if r.pktSize <= 0 {
-		r.pktSize = r.Snd.PacketSize()
+	seq := f.Tr.OnSend(now)
+	if f.sent != nil {
+		f.sent(seq, layer)
 	}
-	r.sink = sim.ReceiverFunc(r.recvData)
-	r.ackSink = sim.ReceiverFunc(r.recvAck)
-	r.sendFn = r.sendLoop
-	r.stepFn = r.stepLoop
-	eng.At(start, r.sendFn)
-	eng.At(start, r.stepFn)
+	p := f.eng.Pool().Get()
+	p.FlowID, p.Seq, p.Size = f.flowID, seq, f.pktSize
+	p.Kind, p.SendTime = sim.Data, now
+	if picked {
+		p.Layer = layer
+	}
+	f.net.SendData(p, f.sink)
+	f.eng.After(f.Tr.IPG(), f.sendFn)
+}
+
+func (f *ccFlow) stepLoop() {
+	now := f.eng.Now()
+	if b := f.Tr.Step(now); b != nil && f.backoff != nil {
+		f.backoff(now, b)
+	}
+	f.eng.After(f.Tr.StepInterval(), f.stepFn)
+}
+
+func (f *ccFlow) recvData(p *sim.Packet) {
+	f.RecvBytes += int64(p.Size)
+	ack := f.eng.Pool().Get()
+	ack.FlowID, ack.Kind, ack.Size, ack.AckSeq = f.flowID, sim.Ack, f.ackSize, p.Seq
+	f.net.SendAck(ack, f.ackSink)
+}
+
+func (f *ccFlow) recvAck(p *sim.Packet) {
+	now := f.eng.Now()
+	if b := f.Tr.OnAck(now, p.AckSeq); b != nil && f.backoff != nil {
+		f.backoff(now, b)
+	}
+	if f.delivered != nil {
+		f.delivered(now, p.AckSeq)
+	}
+}
+
+// RAPSource is a plain (non-adaptive-quality) congestion-controlled
+// flow with an infinite backlog, used as cross traffic. The name is
+// historical — it runs whatever transport backend it is given.
+type RAPSource struct {
+	ccFlow
+}
+
+// NewRAPSource creates a cross-traffic flow over tr starting at start.
+func NewRAPSource(eng *sim.Engine, net sim.Network, flowID int, tr transport.Transport, start float64) *RAPSource {
+	r := &RAPSource{}
+	r.init(eng, net, flowID, tr)
+	r.start(start)
 	return r
 }
 
-func (r *RAPSource) sendLoop() {
-	now := r.eng.Now()
-	seq := r.Snd.OnSend(now)
-	p := r.eng.Pool().Get()
-	p.FlowID, p.Seq, p.Size = r.flowID, seq, r.pktSize
-	p.Kind, p.SendTime = sim.Data, now
-	r.net.SendData(p, r.sink)
-	r.eng.After(r.Snd.IPG(), r.sendFn)
-}
-
-func (r *RAPSource) stepLoop() {
-	r.Snd.Step(r.eng.Now())
-	r.eng.After(r.Snd.StepInterval(), r.stepFn)
-}
-
-func (r *RAPSource) recvData(p *sim.Packet) {
-	r.RecvBytes += int64(p.Size)
-	ack := r.eng.Pool().Get()
-	ack.FlowID, ack.Kind, ack.Size, ack.AckSeq = r.flowID, sim.Ack, r.ackSize, p.Seq
-	r.net.SendAck(ack, r.ackSink)
-}
-
-func (r *RAPSource) recvAck(p *sim.Packet) {
-	r.Snd.OnAck(r.eng.Now(), p.AckSeq)
-}
-
-// QASource is the paper's system under test: a RAP flow whose packets are
-// assigned to video layers by the quality adaptation controller.
+// QASource is the paper's system under test: a congestion-controlled
+// flow whose packets are assigned to video layers by the quality
+// adaptation controller.
 type QASource struct {
-	Snd  *rap.Sender
+	ccFlow
 	Ctrl *core.Controller
-
-	eng     *sim.Engine
-	net     sim.Network
-	flowID  int
-	pktSize int
-	ackSize int
-	sink    sim.Receiver
-	ackSink sim.Receiver
-
-	// sendFn/stepFn: see RAPSource.
-	sendFn func()
-	stepFn func()
 
 	// seqLayer attributes in-flight packets to layers for ACK crediting.
 	seqLayer map[int64]int
@@ -110,71 +148,39 @@ type QASource struct {
 	DeliveredByLayer []int64
 	// LostPkts counts data packets inferred lost.
 	LostPkts int64
-	// RecvBytes counts payload bytes delivered to the sink (all layers,
-	// plus packets sent with no active layer), for fleet aggregates.
-	RecvBytes int64
 }
 
-// NewQASource creates the quality-adaptive flow. Its controller must be
-// constructed by the caller (so scenarios can vary Kmax etc.).
-func NewQASource(eng *sim.Engine, net sim.Network, flowID int, rcfg rap.Config, ctrl *core.Controller, start float64) *QASource {
+// NewQASource creates the quality-adaptive flow over tr. Its controller
+// must be constructed by the caller (so scenarios can vary Kmax etc.).
+func NewQASource(eng *sim.Engine, net sim.Network, flowID int, tr transport.Transport, ctrl *core.Controller, start float64) *QASource {
 	q := &QASource{
-		Snd:      rap.NewSender(rcfg),
 		Ctrl:     ctrl,
-		eng:      eng,
-		net:      net,
-		flowID:   flowID,
-		ackSize:  40,
 		seqLayer: make(map[int64]int),
 	}
-	q.pktSize = q.Snd.PacketSize()
-	q.sink = sim.ReceiverFunc(q.recvData)
-	q.ackSink = sim.ReceiverFunc(q.recvAck)
-	q.sendFn = q.sendLoop
-	q.stepFn = q.stepLoop
-	eng.At(start, q.sendFn)
-	eng.At(start, q.stepFn)
+	q.init(eng, net, flowID, tr)
+	q.pick = q.pickLayer
+	q.sent = q.onSent
+	q.delivered = q.onDelivered
+	q.backoff = q.onBackoff
+	q.start(start)
 	return q
 }
 
-func (q *QASource) sendLoop() {
-	now := q.eng.Now()
-	layer := q.Ctrl.PickLayer(now, q.Snd.Rate(), q.Snd.ConservativeSlope(), q.pktSize)
-	seq := q.Snd.OnSend(now)
+func (q *QASource) pickLayer(now float64) int {
+	return q.Ctrl.PickLayer(now, q.Tr.Rate(), q.Tr.ConservativeSlope(), q.pktSize)
+}
+
+func (q *QASource) onSent(seq int64, layer int) {
 	q.seqLayer[seq] = layer
 	if layer >= 0 {
 		q.SentByLayer = growCounters(q.SentByLayer, layer)
 		q.SentByLayer[layer] += int64(q.pktSize)
 	}
-	p := q.eng.Pool().Get()
-	p.FlowID, p.Seq, p.Size = q.flowID, seq, q.pktSize
-	p.Kind, p.Layer, p.SendTime = sim.Data, layer, now
-	q.net.SendData(p, q.sink)
-	q.eng.After(q.Snd.IPG(), q.sendFn)
 }
 
-func (q *QASource) stepLoop() {
-	now := q.eng.Now()
-	if b := q.Snd.Step(now); b != nil {
-		q.onBackoff(now, b)
-	}
-	q.eng.After(q.Snd.StepInterval(), q.stepFn)
-}
-
-func (q *QASource) recvData(p *sim.Packet) {
-	q.RecvBytes += int64(p.Size)
-	ack := q.eng.Pool().Get()
-	ack.FlowID, ack.Kind, ack.Size, ack.AckSeq = q.flowID, sim.Ack, q.ackSize, p.Seq
-	q.net.SendAck(ack, q.ackSink)
-}
-
-func (q *QASource) recvAck(p *sim.Packet) {
-	now := q.eng.Now()
-	if b := q.Snd.OnAck(now, p.AckSeq); b != nil {
-		q.onBackoff(now, b)
-	}
-	if layer, ok := q.seqLayer[p.AckSeq]; ok {
-		delete(q.seqLayer, p.AckSeq)
+func (q *QASource) onDelivered(now float64, seq int64) {
+	if layer, ok := q.seqLayer[seq]; ok {
+		delete(q.seqLayer, seq)
 		q.Ctrl.OnDelivered(now, layer, q.pktSize)
 		if layer >= 0 {
 			q.DeliveredByLayer = growCounters(q.DeliveredByLayer, layer)
@@ -191,10 +197,10 @@ func growCounters(c []int64, layer int) []int64 {
 	return c
 }
 
-func (q *QASource) onBackoff(now float64, b *rap.Backoff) {
+func (q *QASource) onBackoff(now float64, b *transport.Backoff) {
 	q.LostPkts += int64(len(b.LostSeqs))
 	for _, seq := range b.LostSeqs {
 		delete(q.seqLayer, seq)
 	}
-	q.Ctrl.OnBackoff(now, b.NewRate, q.Snd.ConservativeSlope())
+	q.Ctrl.OnBackoff(now, b.NewRate, q.Tr.ConservativeSlope())
 }

@@ -1,0 +1,271 @@
+package transport
+
+import (
+	"math"
+
+	"qav/internal/metrics"
+)
+
+// BaseConfig parameterizes the bookkeeping shared by rate-based
+// backends (transport/delay, transport/greedy). The defaults mirror
+// rap.Config's so backends are comparable out of the box.
+type BaseConfig struct {
+	// PacketSize is the fixed payload size in bytes (default 512).
+	PacketSize int
+	// InitialRate is the starting transmission rate, bytes/s (default
+	// two packets per InitialRTT).
+	InitialRate float64
+	// MinRate bounds rate decreases, bytes/s (default one packet / 2 s).
+	MinRate float64
+	// MaxRate optionally caps the rate (0 = uncapped), bytes/s.
+	MaxRate float64
+	// InitialRTT seeds the SRTT estimator, seconds (default 100 ms).
+	InitialRTT float64
+	// ReorderGap is how many later ACKs must pass a hole before the
+	// packet is declared lost (default 3).
+	ReorderGap int64
+}
+
+// SetDefaults fills zero fields in place.
+func (c *BaseConfig) SetDefaults() {
+	if c.PacketSize <= 0 {
+		c.PacketSize = 512
+	}
+	if c.InitialRTT <= 0 {
+		c.InitialRTT = 0.1
+	}
+	if c.InitialRate <= 0 {
+		c.InitialRate = 2 * float64(c.PacketSize) / c.InitialRTT
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = float64(c.PacketSize) / 2.0
+	}
+	if c.ReorderGap <= 0 {
+		c.ReorderGap = 3
+	}
+}
+
+// Base implements the transport bookkeeping every rate-based backend
+// needs — sequence numbers, the outstanding map, SRTT/RTO estimation
+// with a peak-RTT envelope, ACK- and timeout-based loss inference, and
+// clustered rate decreases — so a backend only writes its rate policy.
+// It deliberately reimplements rap.Sender's structure rather than
+// reusing it: the rap package is the frozen reference whose byte-exact
+// behaviour the figure goldens pin, while Base is the shared substrate
+// new backends may evolve.
+//
+// Not goroutine-safe; one flow owns one Base.
+type Base struct {
+	cfg BaseConfig
+	ctr Counters
+
+	rate    float64
+	nextSeq int64
+
+	srtt    float64
+	rttvar  float64
+	timeout float64
+	gotRTT  bool
+	peakRTT float64
+
+	outstanding map[int64]float64
+	highestAck  int64
+
+	backoffFence float64
+
+	// scratch and lost are reused across events so the steady-state ACK
+	// path allocates nothing, loss episodes included.
+	scratch Backoff
+	lost    []int64
+
+	ins       *Instruments
+	lastAckAt float64
+}
+
+// NewBase returns an initialized Base (cfg defaults filled in place).
+func NewBase(cfg BaseConfig) Base {
+	cfg.SetDefaults()
+	return Base{
+		cfg:         cfg,
+		rate:        cfg.InitialRate,
+		srtt:        cfg.InitialRTT,
+		rttvar:      cfg.InitialRTT / 2,
+		timeout:     3 * cfg.InitialRTT,
+		outstanding: make(map[int64]float64),
+		highestAck:  -1,
+		lastAckAt:   -1,
+	}
+}
+
+// Rate returns the current transmission rate, bytes/s.
+func (b *Base) Rate() float64 { return b.rate }
+
+// SetRate sets the rate, clamped to [MinRate, MaxRate].
+func (b *Base) SetRate(r float64) {
+	if r < b.cfg.MinRate {
+		r = b.cfg.MinRate
+	}
+	if b.cfg.MaxRate > 0 && r > b.cfg.MaxRate {
+		r = b.cfg.MaxRate
+	}
+	b.rate = r
+}
+
+// IPG returns the current inter-packet gap, seconds.
+func (b *Base) IPG() float64 { return float64(b.cfg.PacketSize) / b.rate }
+
+// SRTT returns the smoothed RTT estimate, seconds.
+func (b *Base) SRTT() float64 { return b.srtt }
+
+// PeakRTT returns the slowly decaying SRTT envelope (conservative-slope
+// denominators use it; zero before the first sample).
+func (b *Base) PeakRTT() float64 {
+	if b.peakRTT > 0 {
+		return b.peakRTT
+	}
+	return b.srtt
+}
+
+// StepInterval returns one SRTT, the periodic decision cadence.
+func (b *Base) StepInterval() float64 { return b.srtt }
+
+// PacketSize returns the configured payload size, bytes.
+func (b *Base) PacketSize() int { return b.cfg.PacketSize }
+
+// Config returns the effective (defaulted) configuration.
+func (b *Base) Config() BaseConfig { return b.cfg }
+
+// Counters returns the cumulative decision counts.
+func (b *Base) Counters() Counters { return b.ctr }
+
+// Outstanding returns the number of unacknowledged packets.
+func (b *Base) Outstanding() int { return len(b.outstanding) }
+
+// OnSend registers a packet transmission at now and returns its
+// sequence number.
+func (b *Base) OnSend(now float64) int64 {
+	seq := b.nextSeq
+	b.nextSeq++
+	b.outstanding[seq] = now
+	b.ctr.Sent++
+	return seq
+}
+
+// AckRTT records the acknowledgement bookkeeping for seq at now —
+// outstanding removal, RTT/RTO update, instrument observations — and
+// returns the RTT sample (ok=false for a duplicate or unknown seq).
+// Callers follow it with ReorderLosses to pick up any newly inferable
+// losses.
+func (b *Base) AckRTT(now float64, seq int64) (rtt float64, ok bool) {
+	if b.ins != nil {
+		if b.lastAckAt >= 0 {
+			b.ins.AckGap.Observe(now - b.lastAckAt)
+		}
+		b.lastAckAt = now
+	}
+	sendTime, had := b.outstanding[seq]
+	if had {
+		delete(b.outstanding, seq)
+		b.ctr.Acked++
+		rtt = now - sendTime
+		b.updateRTT(rtt)
+	}
+	if seq > b.highestAck {
+		b.highestAck = seq
+	}
+	return rtt, had
+}
+
+// ReorderLosses returns the outstanding packets whose sequence trails
+// the highest ACK by more than the reorder gap, removing them from the
+// outstanding set. The returned slice is reused across calls.
+func (b *Base) ReorderLosses() []int64 {
+	b.lost = b.lost[:0]
+	for o := range b.outstanding {
+		if o <= b.highestAck-b.cfg.ReorderGap {
+			b.lost = append(b.lost, o)
+			delete(b.outstanding, o)
+			b.ctr.Lost++
+		}
+	}
+	return b.lost
+}
+
+// TimeoutLosses returns the outstanding packets older than the RTO,
+// removing them and counting a timeout event when any are found. The
+// returned slice is reused across calls.
+func (b *Base) TimeoutLosses(now float64) []int64 {
+	b.lost = b.lost[:0]
+	for o, st := range b.outstanding {
+		if now-st > b.timeout {
+			b.lost = append(b.lost, o)
+			delete(b.outstanding, o)
+			b.ctr.Lost++
+		}
+	}
+	if len(b.lost) > 0 {
+		b.ctr.Timeouts++
+		if b.ins != nil {
+			b.ins.Timeouts.Inc()
+		}
+	}
+	return b.lost
+}
+
+// Backoff applies one clustered rate decrease to newRate at now and
+// returns the event, or nil when now is still inside the previous
+// cluster's grace window (one SRTT): losses or overuse signals detected
+// while the reaction is in flight belong to the cluster already reacted
+// to. The returned pointer reuses the Base's scratch event.
+func (b *Base) Backoff(now, newRate float64, lostSeqs []int64) *Backoff {
+	if now < b.backoffFence {
+		return nil
+	}
+	old := b.rate
+	b.SetRate(newRate)
+	b.ctr.Backoffs++
+	if b.ins != nil {
+		b.ins.Backoffs.Inc()
+	}
+	b.backoffFence = now + b.srtt
+	b.scratch = Backoff{Time: now, OldRate: old, NewRate: b.rate, LostSeqs: lostSeqs}
+	return &b.scratch
+}
+
+func (b *Base) updateRTT(sample float64) {
+	if sample <= 0 {
+		return
+	}
+	if !b.gotRTT {
+		b.srtt = sample
+		b.rttvar = sample / 2
+		b.gotRTT = true
+	} else {
+		const alpha, beta = 1.0 / 8.0, 1.0 / 4.0
+		b.rttvar = (1-beta)*b.rttvar + beta*math.Abs(b.srtt-sample)
+		b.srtt = (1-alpha)*b.srtt + alpha*sample
+	}
+	b.timeout = b.srtt + 4*b.rttvar
+	if b.timeout < 2*b.srtt {
+		b.timeout = 2 * b.srtt
+	}
+	// Peak envelope: jumps up with SRTT, decays ~1% per sample.
+	if b.srtt > b.peakRTT {
+		b.peakRTT = b.srtt
+	} else {
+		b.peakRTT += 0.01 * (b.srtt - b.peakRTT)
+	}
+	if b.ins != nil {
+		b.ins.SRTT.Observe(b.srtt)
+	}
+}
+
+// Instrument attaches ins and publishes the packet counters under
+// prefix, the same Func-metric shape the RAP backend registers.
+func (b *Base) Instrument(reg *metrics.Registry, prefix string, ins *Instruments) {
+	b.ins = ins
+	reg.CounterFunc(prefix+".sent", func() int64 { return b.ctr.Sent })
+	reg.CounterFunc(prefix+".acked", func() int64 { return b.ctr.Acked })
+	reg.CounterFunc(prefix+".lost", func() int64 { return b.ctr.Lost })
+	reg.GaugeFunc(prefix+".rate", func() float64 { return b.rate })
+}

@@ -1,0 +1,83 @@
+package delay
+
+// signal is the detector's per-sample verdict.
+type signal int
+
+const (
+	sigNormal signal = iota
+	sigOveruse
+	sigUnderuse
+)
+
+// detector compares the filtered gradient against an adaptive threshold
+// γ. Overuse is declared only after the gradient has stayed above γ for
+// overuseTime seconds without decreasing — a single queue blip is not a
+// congestion episode. The threshold itself chases |m| (fast when |m| is
+// above it, slowly when below), which keeps the controller from
+// starving next to loss-based flows: their sawtooth drags γ up, and the
+// delay flow stops backing off for queue oscillation it cannot remove.
+type detector struct {
+	gamma     float64
+	gammaMin  float64
+	gammaMax  float64
+	kUp       float64 // γ adaptation rate when |m| > γ, 1/s
+	kDown     float64 // γ adaptation rate when |m| ≤ γ, 1/s
+	overTime  float64 // sustained-overuse requirement, s
+	overSince float64 // time first entered the over-threshold region
+	inOver    bool
+	prevM     float64
+}
+
+func newDetector(gamma0, gammaMin, gammaMax, kUp, kDown, overTime float64) detector {
+	return detector{
+		gamma:    gamma0,
+		gammaMin: gammaMin,
+		gammaMax: gammaMax,
+		kUp:      kUp,
+		kDown:    kDown,
+		overTime: overTime,
+	}
+}
+
+// update consumes the filtered gradient m at time now (dt seconds since
+// the previous sample) and returns the congestion verdict.
+func (d *detector) update(now, dt, m float64) signal {
+	if dt > 0.1 {
+		dt = 0.1 // a long ACK silence must not slam γ in one step
+	}
+	abs := m
+	if abs < 0 {
+		abs = -abs
+	}
+	k := d.kDown
+	if abs > d.gamma {
+		k = d.kUp
+	}
+	d.gamma += dt * k * (abs - d.gamma)
+	if d.gamma < d.gammaMin {
+		d.gamma = d.gammaMin
+	}
+	if d.gamma > d.gammaMax {
+		d.gamma = d.gammaMax
+	}
+
+	var s signal
+	switch {
+	case m > d.gamma:
+		if !d.inOver {
+			d.inOver = true
+			d.overSince = now
+		}
+		// Sustained and not easing off → overuse.
+		if now-d.overSince >= d.overTime && m >= d.prevM {
+			s = sigOveruse
+		}
+	case m < -d.gamma:
+		d.inOver = false
+		s = sigUnderuse
+	default:
+		d.inOver = false
+	}
+	d.prevM = m
+	return s
+}

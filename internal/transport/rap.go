@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"qav/internal/metrics"
+	"qav/internal/rap"
+)
+
+// RAP adapts the reference rap.Sender to the Transport interface. It is
+// a zero-logic shim: every method delegates to the sender unchanged, so
+// a flow driven through the adapter is transmit-decision-identical to
+// one driving the sender directly (the differential test in this
+// package holds both to bitwise-equal rates, gaps, and backoffs).
+type RAP struct {
+	snd *rap.Sender
+
+	// scratch is the reused Backoff conversion buffer: backoffs are
+	// rare, but the ACK path must stay allocation-free even through a
+	// loss episode. Valid until the next OnAck/Step, per the interface
+	// contract.
+	scratch Backoff
+}
+
+// NewRAP returns the RAP backend (zero cfg fields take rap's defaults).
+func NewRAP(cfg rap.Config) *RAP {
+	return &RAP{snd: rap.NewSender(cfg)}
+}
+
+// Sender exposes the wrapped rap.Sender for rap-specific inspection
+// (fine-grain factor, instantaneous slope) in tests and diagnostics.
+func (t *RAP) Sender() *rap.Sender { return t.snd }
+
+func (t *RAP) convert(b *rap.Backoff) *Backoff {
+	if b == nil {
+		return nil
+	}
+	t.scratch = Backoff{Time: b.Time, OldRate: b.OldRate, NewRate: b.NewRate, LostSeqs: b.LostSeqs}
+	return &t.scratch
+}
+
+// OnSend registers a packet transmission and returns its sequence number.
+func (t *RAP) OnSend(now float64) int64 { return t.snd.OnSend(now) }
+
+// OnAck processes an acknowledgement, returning any loss backoff.
+func (t *RAP) OnAck(now float64, seq int64) *Backoff {
+	return t.convert(t.snd.OnAck(now, seq))
+}
+
+// Step runs RAP's periodic rate decision (timeout check, additive
+// increase).
+func (t *RAP) Step(now float64) *Backoff { return t.convert(t.snd.Step(now)) }
+
+// StepInterval returns one SRTT.
+func (t *RAP) StepInterval() float64 { return t.snd.StepInterval() }
+
+// Rate returns the current transmission rate, bytes/s.
+func (t *RAP) Rate() float64 { return t.snd.Rate() }
+
+// IPG returns the current inter-packet gap, seconds.
+func (t *RAP) IPG() float64 { return t.snd.IPG() }
+
+// SRTT returns the smoothed RTT estimate, seconds.
+func (t *RAP) SRTT() float64 { return t.snd.SRTT() }
+
+// ConservativeSlope returns RAP's peak-RTT-envelope slope estimate.
+func (t *RAP) ConservativeSlope() float64 { return t.snd.ConservativeSlope() }
+
+// PacketSize returns the configured payload size, bytes.
+func (t *RAP) PacketSize() int { return t.snd.PacketSize() }
+
+// Kind returns KindRAP.
+func (t *RAP) Kind() Kind { return KindRAP }
+
+// Counters returns the sender's cumulative decision counts.
+func (t *RAP) Counters() Counters {
+	return Counters{
+		Sent:     t.snd.Sent,
+		Acked:    t.snd.Acked,
+		Lost:     t.snd.Lost,
+		Backoffs: t.snd.Backoffs,
+		Timeouts: t.snd.TimeoutEv,
+	}
+}
+
+// Instrument wires the shared instruments and per-prefix Func counters
+// through to the sender, preserving the exact metric names the direct
+// rap path registered ("<prefix>.sent", ".acked", ".lost", ".rate").
+func (t *RAP) Instrument(reg *metrics.Registry, prefix string, ins *Instruments) {
+	t.snd.Instrument(reg, prefix, &rap.Instruments{
+		Backoffs: ins.Backoffs,
+		Timeouts: ins.Timeouts,
+		SRTT:     ins.SRTT,
+		AckGap:   ins.AckGap,
+	})
+}

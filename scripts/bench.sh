@@ -1,5 +1,5 @@
 #!/bin/sh
-# Runs the headline simulation benchmarks and writes BENCH_PR6.json
+# Runs the headline simulation benchmarks and writes BENCH_PR8.json
 # (ns/op, B/op, allocs/op per benchmark, plus deltas against the
 # recorded baselines; the Fleet/1000 entry carries events/sec and
 # packets/sec with the map-scoreboard run as its baseline, and the
@@ -14,4 +14,4 @@
 # arguments are forwarded to qabench.
 set -eu
 cd "$(dirname "$0")/.."
-exec go run ./cmd/qabench -out BENCH_PR6.json -report BENCH_REPORT.json "$@"
+exec go run ./cmd/qabench -out BENCH_PR8.json -report BENCH_REPORT.json "$@"
