@@ -132,11 +132,11 @@ func main() {
 	// sharded engine to the serial one), pairing shards4 against the
 	// serial run so the parallel speedup reads as a delta; on a
 	// single-core host the pair documents the barrier overhead instead.
-	fleetBench := func(flows, shards int, dur float64, board tcp.ScoreboardKind, tr transport.Kind) func(b *testing.B) {
+	fleetBench := func(flows, shards int, dur float64, board tcp.ScoreboardKind, tr transport.Kind, fluid int) func(b *testing.B) {
 		return func(b *testing.B) {
 			cfg := scenario.MustPreset("Fleet",
 				scenario.WithFlows(flows), scenario.WithScale(figures.DefaultScale),
-				scenario.WithTransport(tr))
+				scenario.WithTransport(tr), scenario.WithFluidFlows(fluid))
 			cfg.Duration = dur
 			cfg.Board = board
 			cfg.Shards = shards
@@ -188,18 +188,25 @@ func main() {
 				}
 			}
 		}},
-		{"Fleet/100", false, fleetBench(100, 1, 5, tcp.BoardWindowed, transport.KindRAP)},
-		{"Fleet/1000-map", true, fleetBench(1000, 1, 5, tcp.BoardMap, transport.KindRAP)},
-		{"Fleet/1000", true, fleetBench(1000, 1, 5, tcp.BoardWindowed, transport.KindRAP)},
+		{"Fleet/100", false, fleetBench(100, 1, 5, tcp.BoardWindowed, transport.KindRAP, 0)},
+		{"Fleet/1000-map", true, fleetBench(1000, 1, 5, tcp.BoardMap, transport.KindRAP, 0)},
+		{"Fleet/1000", true, fleetBench(1000, 1, 5, tcp.BoardWindowed, transport.KindRAP, 0)},
 		// The per-transport trio: the same 1000-flow workload on each
 		// congestion-control backend, A/B-paired against the RAP leg so
 		// the cost of the Kalman/overuse path (delay) and the slow-start
 		// probe (greedy) read as deltas.
-		{"Fleet/1000-delay", true, fleetBench(1000, 1, 5, tcp.BoardWindowed, transport.KindDelay)},
-		{"Fleet/1000-greedy", true, fleetBench(1000, 1, 5, tcp.BoardWindowed, transport.KindGreedy)},
-		{"Fleet/10000", true, fleetBench(10_000, 1, 2, tcp.BoardWindowed, transport.KindRAP)},
-		{"Fleet/10000-shards2", true, fleetBench(10_000, 2, 2, tcp.BoardWindowed, transport.KindRAP)},
-		{"Fleet/10000-shards4", true, fleetBench(10_000, 4, 2, tcp.BoardWindowed, transport.KindRAP)},
+		{"Fleet/1000-delay", true, fleetBench(1000, 1, 5, tcp.BoardWindowed, transport.KindDelay, 0)},
+		{"Fleet/1000-greedy", true, fleetBench(1000, 1, 5, tcp.BoardWindowed, transport.KindGreedy, 0)},
+		// The hybrid pair: the same total population with 9 of 10 flows
+		// folded into the fluid aggregate, A/B-paired against the
+		// all-packet run — the speedup is the hybrid model's whole point
+		// — plus the headline 10^6-flow configuration that only the
+		// hybrid model can represent at all.
+		{"Fleet/1000-hybrid", true, fleetBench(100, 1, 5, tcp.BoardWindowed, transport.KindRAP, 900)},
+		{"Fleet/1M-hybrid", true, fleetBench(100, 1, 5, tcp.BoardWindowed, transport.KindRAP, 999_900)},
+		{"Fleet/10000", true, fleetBench(10_000, 1, 2, tcp.BoardWindowed, transport.KindRAP, 0)},
+		{"Fleet/10000-shards2", true, fleetBench(10_000, 2, 2, tcp.BoardWindowed, transport.KindRAP, 0)},
+		{"Fleet/10000-shards4", true, fleetBench(10_000, 4, 2, tcp.BoardWindowed, transport.KindRAP, 0)},
 		{"Simulator", false, func(b *testing.B) {
 			// Instrumented: the engine and link publish into a live
 			// registry and the queueing-delay histogram records every
@@ -282,6 +289,7 @@ func main() {
 		{"Fleet/1000", "Fleet/1000-map"},
 		{"Fleet/1000-delay", "Fleet/1000"},
 		{"Fleet/1000-greedy", "Fleet/1000"},
+		{"Fleet/1000-hybrid", "Fleet/1000"},
 		{"Fleet/10000-shards4", "Fleet/10000"},
 	}
 	byIdx := make(map[string]int, len(rep.Benchmarks))

@@ -26,6 +26,13 @@
 // population-invariant) and -traceflows caps per-flow trace series while
 // emitting fleet-wide aggregates; see scenario.Config.MaxTraceFlows.
 //
+// -fluid N adds N more background flows modeled as a fluid AIMD
+// aggregate (half TCP, half RAP) instead of packet-level — the hybrid
+// model that scales Fleet populations to 10^6 flows (see DESIGN.md,
+// "Hybrid fluid/packet simulation"):
+//
+//	qasim -flows 100 -fluid 999900 -dur 10 -report -
+//
 // -shards N splits ONE run across N engines (a bottleneck shard plus
 // N-1 flow shards) synchronized by a conservative time barrier. Results
 // — reports, traces, TSVs — are bit-identical to -shards 1; see
@@ -52,6 +59,7 @@ import (
 func main() {
 	preset := flag.String("preset", "", "build the scenario from a preset ("+strings.Join(scenario.Presets(), ", ")+"); explicit flags override its fields")
 	flows := flag.Int("flows", 0, "total flow population; implies -preset Fleet when no preset is named")
+	fluid := flag.Int("fluid", 0, "additional background flows modeled as a fluid aggregate (half TCP, half RAP) instead of packet-level")
 	traceFlows := flag.Int("traceflows", -1, "cap per-flow trace series at N flows per class and emit fleet aggregates (0 = legacy full tracing, -1 = preset default)")
 	bw := flag.Float64("bw", 800_000, "bottleneck bandwidth, bytes/s")
 	rtt := flag.Float64("rtt", 0.04, "base round-trip time, seconds")
@@ -91,7 +99,7 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	presetName := *preset
-	if presetName == "" && *flows > 0 {
+	if presetName == "" && (*flows > 0 || *fluid > 0) {
 		presetName = "Fleet"
 	}
 
@@ -125,6 +133,9 @@ func main() {
 			opts := []scenario.PresetOption{scenario.WithKmax(kmax)}
 			if *flows > 0 {
 				opts = append(opts, scenario.WithFlows(*flows))
+			}
+			if *fluid > 0 {
+				opts = append(opts, scenario.WithFluidFlows(*fluid))
 			}
 			if set["transport"] {
 				opts = append(opts, scenario.WithTransport(trKind))
@@ -256,6 +267,11 @@ func main() {
 			fs := res.Report().Fleet
 			fmt.Printf("# fleet: flows=%d goodput: qa=%.0fB/s rap=%.0fB/s tcp=%.0fB/s jain(tcp)=%.3f\n",
 				fs.Flows, fs.QAGoodputBps, fs.RAPGoodputBps, fs.TCPGoodputBps, fs.JainFairnessTCP)
+		}
+		if res.Fluid != nil {
+			fl := res.Report().Fluid
+			fmt.Printf("# fluid: flows=%dTCP+%dRAP goodput=%.0fB/s dropped=%.0fB backoffs=%d\n",
+				fl.TCPFlows, fl.RAPFlows, fl.GoodputBps, fl.DroppedBytes, fl.Backoffs)
 		}
 
 		if *events {

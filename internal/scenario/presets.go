@@ -14,6 +14,7 @@ type presetOpts struct {
 	kmax      int
 	scale     float64
 	flows     int
+	fluid     int
 	transport transport.Kind
 }
 
@@ -36,6 +37,17 @@ func WithScale(s float64) PresetOption { return func(o *presetOpts) { o.scale = 
 // scale with the flow count so each flow's fair share stays constant.
 // Ignored by the fixed-population paper presets.
 func WithFlows(n int) PresetOption { return func(o *presetOpts) { o.flows = n } }
+
+// WithFluidFlows adds n hybrid background flows to the Fleet preset —
+// half modeled as an aggregate TCP class, half as an aggregate RAP
+// class (fluid AIMD rate processes, not packet-level; see DESIGN.md,
+// "Hybrid fluid/packet simulation"). The bottleneck capacity and queue
+// scale with the fluid population too, keeping every flow's fair share
+// constant, so a hybrid Fleet is directly comparable to a pure packet
+// Fleet of the same total population. Default 0: a pure packet-level
+// run with a byte-identical config. Ignored by the fixed-population
+// paper presets.
+func WithFluidFlows(n int) PresetOption { return func(o *presetOpts) { o.fluid = n } }
 
 // WithTransport selects the congestion-control backend for the preset's
 // QA and cross-traffic flows (default transport.KindRAP). Non-default
@@ -95,6 +107,9 @@ func Preset(name string, opts ...PresetOption) (Config, error) {
 	}
 	if o.flows < 0 {
 		return Config{}, fmt.Errorf("scenario: preset %q: flows must be >= 0, got %d", name, o.flows)
+	}
+	if o.fluid < 0 {
+		return Config{}, fmt.Errorf("scenario: preset %q: fluid flows must be >= 0, got %d", name, o.fluid)
 	}
 	kind, err := transport.ParseKind(string(o.transport))
 	if err != nil {
@@ -176,10 +191,18 @@ func presetFleet(o presetOpts) Config {
 	}
 	nQA := flows / 2
 	nTCP := flows - nQA
+	fluidTCP := o.fluid / 2
+	fluidRAP := o.fluid - fluidTCP
 	fair := 5_000.0 * o.scale
-	rate := fair * float64(flows)
+	rate := fair * float64(flows+o.fluid)
+	// Pure packet Fleets keep their historical name byte-stable; hybrid
+	// runs self-identify.
+	name := fmt.Sprintf("Fleet(flows=%d,Kmax=%d)", flows, o.kmax)
+	if o.fluid > 0 {
+		name = fmt.Sprintf("Fleet(flows=%d,fluid=%d,Kmax=%d)", flows, o.fluid, o.kmax)
+	}
 	return Config{
-		Name:           fmt.Sprintf("Fleet(flows=%d,Kmax=%d)", flows, o.kmax),
+		Name:           name,
 		BottleneckRate: rate,
 		LinkDelay:      0.010,
 		AccessDelay:    0.005,
@@ -187,6 +210,8 @@ func presetFleet(o presetOpts) Config {
 		PacketSize:     512,
 		NumTCP:         nTCP,
 		NumQA:          nQA,
+		FluidTCP:       fluidTCP,
+		FluidRAP:       fluidRAP,
 		QA: core.Params{
 			C:          fair / 4,
 			Kmax:       o.kmax,

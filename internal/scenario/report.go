@@ -24,7 +24,11 @@ type RunReport struct {
 	MeanLayers float64          `json:"mean_layers"`
 	Drops      trace.DropStats  `json:"drops"`
 	Fleet      FleetStats       `json:"fleet"`
-	Metrics    metrics.Snapshot `json:"metrics"`
+	// Fluid summarizes the hybrid background aggregate; nil (and absent
+	// from the JSON) for pure packet-level runs, so their reports stay
+	// byte-identical.
+	Fluid   *FluidStats      `json:"fluid,omitempty"`
+	Metrics metrics.Snapshot `json:"metrics"`
 }
 
 // FleetStats summarizes the whole flow population of a run — always
@@ -82,6 +86,43 @@ func (r *Result) fleetStats() FleetStats {
 	return fs
 }
 
+// FluidStats summarizes the background aggregate of a hybrid run: the
+// modeled populations, the bandwidth the aggregate actually got
+// (serviced bytes over the run duration), its overflow losses, and the
+// rate it ended at. The byte totals are the fluid model's own
+// accounting, not packet counts.
+type FluidStats struct {
+	TCPFlows int `json:"tcp_flows"`
+	RAPFlows int `json:"rap_flows"`
+
+	GoodputBps   float64 `json:"goodput_bps"`
+	OfferedBytes float64 `json:"offered_bytes"`
+	DroppedBytes float64 `json:"dropped_bytes"`
+	Backoffs     int64   `json:"backoffs"`
+	FinalRateBps float64 `json:"final_rate_bps"`
+}
+
+// fluidStats summarizes the hybrid background, nil for pure
+// packet-level runs.
+func (r *Result) fluidStats() *FluidStats {
+	f := r.Fluid
+	if f == nil {
+		return nil
+	}
+	fs := &FluidStats{
+		TCPFlows:     r.Cfg.FluidTCP,
+		RAPFlows:     r.Cfg.FluidRAP,
+		OfferedBytes: f.OfferedBytes,
+		DroppedBytes: f.DroppedBytes,
+		Backoffs:     f.Backoffs,
+		FinalRateBps: f.Rate(),
+	}
+	if r.Cfg.Duration > 0 {
+		fs.GoodputBps = f.ServedBytes / r.Cfg.Duration
+	}
+	return fs
+}
+
 // jainIndex computes Jain's fairness index (Σx)²/(n·Σx²) from a
 // population's goodput sum and sum of squares. An empty or all-zero
 // population — every flow at zero goodput, the most pathological run —
@@ -109,6 +150,7 @@ func (r *Result) Report() RunReport {
 		StallSec:  r.StallSec,
 		Drops:     r.Stats,
 		Fleet:     r.fleetStats(),
+		Fluid:     r.fluidStats(),
 		Metrics:   r.Metrics.Snapshot(),
 	}
 	if r.PlayedSec > 0 {

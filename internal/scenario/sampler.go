@@ -73,6 +73,13 @@ func startSampler(eng *sim.Engine, net *sim.Dumbbell, cfg Config, res *Result) {
 		}
 	}
 	sQueue := series("queue.bytes")
+	// Hybrid runs trace the background aggregate's modeled send rate
+	// right after the queue series (creation order is load-bearing: the
+	// sharded sampler mirrors it).
+	var sFluid *trace.Series
+	if res.Fluid != nil {
+		sFluid = series("fluid.rate")
+	}
 
 	var sFleetQA, sFleetRap, sFleetTCP, sJain *trace.Series
 	var lastTCPTotal int64
@@ -109,6 +116,9 @@ func startSampler(eng *sim.Engine, net *sim.Dumbbell, cfg Config, res *Result) {
 			lastGoodput[i] = good
 		}
 		sQueue.Add(now, float64(net.Q.Bytes()))
+		if sFluid != nil {
+			sFluid.Add(now, res.Fluid.Rate())
+		}
 		if fleet {
 			qaRate, rapRate := 0.0, 0.0
 			for _, q := range res.QASrcs {

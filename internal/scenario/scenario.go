@@ -47,6 +47,20 @@ type Config struct {
 	// sources are unaffected.
 	Transport transport.Kind
 
+	// Hybrid fluid background (DESIGN.md, "Hybrid fluid/packet
+	// simulation"): FluidTCP and FluidRAP background flows are modeled
+	// as aggregate AIMD rate processes coupled to the bottleneck —
+	// reserving link bandwidth and shared-buffer space against the
+	// packet-level flows above — instead of being simulated
+	// packet-by-packet. Zero (the default) is a pure packet-level run,
+	// wired exactly as before. The fluid halves open fleet populations
+	// (10^5–10^6 flows) the packet engine cannot reach.
+	FluidTCP int
+	FluidRAP int
+	// FluidInterval is the fluid<->packet coupling step in seconds
+	// (default 0.01 when any fluid flows are configured).
+	FluidInterval float64
+
 	// Quality adaptation parameters.
 	QA core.Params
 
@@ -116,6 +130,13 @@ func (cfg *Config) Normalize() error {
 		return fmt.Errorf("scenario: negative flow counts (%d QA, %d RAP, %d TCP)",
 			cfg.NumQA, cfg.NumRAP, cfg.NumTCP)
 	}
+	if cfg.FluidTCP < 0 || cfg.FluidRAP < 0 {
+		return fmt.Errorf("scenario: negative fluid flow counts (%d TCP, %d RAP)",
+			cfg.FluidTCP, cfg.FluidRAP)
+	}
+	if cfg.FluidTCP+cfg.FluidRAP > 0 && cfg.FluidInterval <= 0 {
+		cfg.FluidInterval = 0.01
+	}
 	if cfg.SampleInterval <= 0 {
 		cfg.SampleInterval = 0.1
 	}
@@ -141,7 +162,7 @@ func (cfg *Config) Normalize() error {
 	if cfg.NumQA > 0 {
 		cfg.WithQA = true
 	}
-	if cfg.NumQA+cfg.NumRAP+cfg.NumTCP == 0 && cfg.CBRRate <= 0 {
+	if cfg.NumQA+cfg.NumRAP+cfg.NumTCP+cfg.FluidTCP+cfg.FluidRAP == 0 && cfg.CBRRate <= 0 {
 		return fmt.Errorf("scenario: config %q has no traffic sources", cfg.Name)
 	}
 	return nil
@@ -158,6 +179,11 @@ type Result struct {
 	QASrcs  []*QASource // all QA flows, fleet runs included
 	RAPSrcs []*RAPSource
 	TCPSrcs []*tcp.Source
+
+	// Fluid is the background aggregate of a hybrid run (nil for pure
+	// packet-level runs). Its cumulative totals are final once Run has
+	// returned.
+	Fluid *sim.Fluid
 
 	// Metrics is the registry the run recorded into (nil when the
 	// config had none attached).
@@ -199,6 +225,15 @@ func Run(cfg Config) (*Result, error) {
 			LinkRate: cfg.BottleneckRate,
 		})
 	}
+	var fq *sim.FluidQueue
+	if cfg.FluidTCP+cfg.FluidRAP > 0 {
+		inner := queue
+		if inner == nil {
+			inner = sim.NewDropTail(cfg.QueueBytes)
+		}
+		fq = sim.NewFluidQueue(inner, cfg.QueueBytes)
+		queue = fq
+	}
 	net := sim.NewDumbbell(eng, sim.DumbbellConfig{
 		Rate:        cfg.BottleneckRate,
 		Delay:       cfg.LinkDelay,
@@ -209,6 +244,13 @@ func Run(cfg Config) (*Result, error) {
 	baseRTT := net.BaseRTT()
 
 	res := &Result{Cfg: cfg, Series: trace.NewSet(), Metrics: cfg.Metrics}
+	if fq != nil {
+		// The fluid aggregate is constructed (and its first step
+		// scheduled) before any flow, on both execution paths, so its
+		// events hold the same scheduling order relative to the packet
+		// ones serially and sharded.
+		res.Fluid = newFluid(&cfg, eng, net.Bneck, fq, baseRTT)
+	}
 	nflows, err := buildFlows(cfg, res, baseRTT, func(int) (*sim.Engine, sim.Network) {
 		return eng, net
 	})
@@ -217,6 +259,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	instrument(cfg.Metrics, net, res, nflows)
+	instrumentFluid(cfg.Metrics, res)
 	startSampler(eng, net, cfg, res)
 
 	eng.RunUntil(cfg.Duration)
@@ -248,8 +291,13 @@ func buildFlows(cfg Config, res *Result, baseRTT float64, place placement) (int,
 	}
 	// Start around one fair share to shorten convergence. The expression
 	// is kept verbatim from the pre-transport code: it seeds every
-	// backend, and for RAP it must stay bit-identical.
-	initialRate := cfg.BottleneckRate / float64(qaShare+cfg.NumRAP+cfg.NumTCP)
+	// backend, and for RAP it must stay bit-identical. The fluid
+	// populations join the denominator — zero in every pure packet run,
+	// keeping the historical value bitwise — because a hybrid
+	// bottleneck is scaled for the whole population: seeding 100 packet
+	// flows at a million-flow link's packet-only split would start them
+	// four orders of magnitude above their fair share.
+	initialRate := cfg.BottleneckRate / float64(qaShare+cfg.NumRAP+cfg.NumTCP+cfg.FluidTCP+cfg.FluidRAP)
 	newTr := func() transport.Transport {
 		switch cfg.Transport {
 		case transport.KindDelay:
@@ -320,6 +368,42 @@ func buildFlows(cfg Config, res *Result, baseRTT float64, place placement) (int,
 	return flowID, nil
 }
 
+// newFluid builds the hybrid run's background aggregate — one AIMD
+// class per configured population, each seeded at its fair share of
+// the bottleneck so convergence matches the packet flows' seeding —
+// attaches it to the bottleneck link and shared buffer, and schedules
+// its coupling steps. Shared by the serial and sharded paths; eng must
+// be the engine that owns the link (the bottleneck shard's).
+func newFluid(cfg *Config, eng *sim.Engine, link *sim.Link, fq *sim.FluidQueue, baseRTT float64) *sim.Fluid {
+	// The packet flows' seed formula above (buildFlows) is frozen for
+	// RAP bit-stability and deliberately ignores the fluid population;
+	// the fluid classes seed at the all-population fair share, which is
+	// what the background would converge to anyway.
+	total := cfg.NumQA + cfg.NumRAP + cfg.NumTCP + cfg.FluidTCP + cfg.FluidRAP
+	share := cfg.BottleneckRate / float64(total)
+	var classes []sim.FluidClassConfig
+	class := func(name string, flows int, beta float64) {
+		if flows > 0 {
+			classes = append(classes, sim.FluidClassConfig{
+				Name:        name,
+				Flows:       flows,
+				PacketSize:  cfg.PacketSize,
+				RTT:         baseRTT,
+				Beta:        beta,
+				InitialRate: share * float64(flows),
+			})
+		}
+	}
+	class("tcp", cfg.FluidTCP, 0.5)
+	class("rap", cfg.FluidRAP, 0.5)
+	f := sim.NewFluid(eng, link, fq, sim.FluidConfig{
+		Interval: cfg.FluidInterval,
+		Classes:  classes,
+	})
+	f.Start()
+	return f
+}
+
 // finishResult copies the first QA flow's delivered-quality summary
 // onto the result, after the engine(s) have run to completion.
 func finishResult(res *Result) {
@@ -371,6 +455,16 @@ func instrument(reg *metrics.Registry, net *sim.Dumbbell, res *Result, nflows in
 	net.Instrument(reg)
 	net.Bneck.InstrumentFlows(reg, nflows)
 	instrumentSources(reg, res)
+}
+
+// instrumentFluid registers the hybrid background's "fluid.*" metrics,
+// shared by the serial and sharded paths. No-op without a fluid half,
+// so pure packet-level reports keep their exact metric name set.
+func instrumentFluid(reg *metrics.Registry, res *Result) {
+	if reg == nil || res.Fluid == nil {
+		return
+	}
+	res.Fluid.Instrument(reg)
 }
 
 // instrumentSources registers the transport- and controller-level

@@ -61,6 +61,24 @@ func runSharded(cfg Config) (*Result, error) {
 			})
 		}
 	}
+	// Hybrid runs wrap the bottleneck queue in the shared-buffer
+	// coupling exactly as the serial path does; the wrapper (and the
+	// fluid aggregate below) live on the bottleneck shard, whose engine
+	// owns the link and queue.
+	var fq *sim.FluidQueue
+	if cfg.FluidTCP+cfg.FluidRAP > 0 {
+		innerFn := queueFn
+		queueFn = func(e *sim.Engine) sim.Queue {
+			var inner sim.Queue
+			if innerFn != nil {
+				inner = innerFn(e)
+			} else {
+				inner = sim.NewDropTail(cfg.QueueBytes)
+			}
+			fq = sim.NewFluidQueue(inner, cfg.QueueBytes)
+			return fq
+		}
+	}
 	d := sim.NewShardedDumbbell(flowShards, sim.DumbbellConfig{
 		Rate:        cfg.BottleneckRate,
 		Delay:       cfg.LinkDelay,
@@ -70,6 +88,10 @@ func runSharded(cfg Config) (*Result, error) {
 	baseRTT := d.BaseRTT()
 
 	res := &Result{Cfg: cfg, Series: trace.NewSet(), Metrics: cfg.Metrics}
+	if fq != nil {
+		// Before any flow, matching the serial construction order.
+		res.Fluid = newFluid(&cfg, d.BneckEngine(), d.Bneck(), fq, baseRTT)
+	}
 	nflows, err := buildFlows(cfg, res, baseRTT, func(flowID int) (*sim.Engine, sim.Network) {
 		s := flowID % flowShards
 		d.AssignFlow(flowID, s)
@@ -83,6 +105,7 @@ func runSharded(cfg Config) (*Result, error) {
 		d.Instrument(reg)
 		d.Bneck().InstrumentFlows(reg, nflows)
 		instrumentSources(reg, res)
+		instrumentFluid(reg, res)
 	}
 	atBarrier := startShardedSampler(d, cfg, res)
 
@@ -147,6 +170,8 @@ type shardTicker struct {
 	// Bottleneck shard only.
 	sQueue *trace.Series
 	queue  sim.Queue
+	fluid  *sim.Fluid
+	sFluid *trace.Series
 
 	tickFn func()
 }
@@ -214,6 +239,9 @@ func (t *shardTicker) tick() {
 	}
 	if t.sQueue != nil {
 		t.sQueue.Add(now, float64(t.queue.Bytes()))
+	}
+	if t.sFluid != nil {
+		t.sFluid.Add(now, t.fluid.Rate())
 	}
 	t.j++
 	if now+t.interval <= t.duration {
@@ -351,6 +379,12 @@ func startShardedSampler(d *sim.ShardedDumbbell, cfg Config, res *Result) func(h
 		duration: cfg.Duration,
 		sQueue:   series("queue.bytes"),
 		queue:    d.Queue(),
+	}
+	if res.Fluid != nil {
+		// Mirrors the serial sampler's creation order: fluid.rate
+		// directly after queue.bytes, before the fleet aggregates.
+		bneckTick.fluid = res.Fluid
+		bneckTick.sFluid = series("fluid.rate")
 	}
 
 	var coord *fleetCoordinator

@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// hybridRig is one bottleneck with a FluidQueue-wrapped DropTail and a
+// fluid aggregate attached — the minimal hybrid coupling, no dumbbell.
+type hybridRig struct {
+	eng   *Engine
+	q     *FluidQueue
+	link  *Link
+	fluid *Fluid
+}
+
+func newHybridRig(rate float64, queueBytes int, cfg FluidConfig) *hybridRig {
+	e := NewEngine()
+	fq := NewFluidQueue(NewDropTail(queueBytes), queueBytes)
+	l := NewLink(e, fq, rate, 0.01)
+	f := NewFluid(e, l, fq, cfg)
+	f.Start()
+	return &hybridRig{eng: e, q: fq, link: l, fluid: f}
+}
+
+func TestLinkSetFluidRateClamped(t *testing.T) {
+	e := NewEngine()
+	q := NewDropTail(1 << 20)
+	l := NewLink(e, q, 1000, 0)
+
+	// Over-capacity requests clamp to MaxFluidShare, never panic: the
+	// caller's reservation is a measurement that may legitimately reach
+	// the capacity.
+	l.SetFluidRate(2000)
+	if want := 1000 * MaxFluidShare; l.FluidRate() != want {
+		t.Fatalf("FluidRate after over-reserve = %v, want clamp to %v", l.FluidRate(), want)
+	}
+	l.SetFluidRate(-5)
+	if l.FluidRate() != 0 {
+		t.Fatalf("FluidRate after negative reserve = %v, want 0", l.FluidRate())
+	}
+
+	// Packets still serialize — at the residual rate — even at the cap.
+	l.SetFluidRate(2000)
+	var at float64
+	p := mkPkt(1, 100)
+	p.Dst = ReceiverFunc(func(*Packet) { at = e.Now() })
+	l.Offer(p)
+	e.Run()
+	want := 100 / (1000 * (1 - MaxFluidShare)) // 100 B at the 2% residual
+	if math.Abs(at-want) > 1e-9 {
+		t.Fatalf("delivery at %v, want %v", at, want)
+	}
+}
+
+func TestLinkResidualRateSerialization(t *testing.T) {
+	e := NewEngine()
+	q := NewDropTail(1 << 20)
+	l := NewLink(e, q, 1000, 0)
+	l.SetFluidRate(500)
+
+	var at float64
+	p := mkPkt(1, 100)
+	p.Dst = ReceiverFunc(func(*Packet) { at = e.Now() })
+	l.Offer(p)
+	e.Run()
+	if math.Abs(at-0.2) > 1e-9 { // 100 B at the 500 B/s residual
+		t.Fatalf("delivery at %v, want 0.2", at)
+	}
+}
+
+func TestFluidQueueSharedBudget(t *testing.T) {
+	inner := NewDropTail(1000)
+	fq := NewFluidQueue(inner, 1000)
+
+	// Fluid backlog fills most of the budget: a packet that no longer
+	// fits is refused and counted on the wrapper.
+	fq.SetFluidBytes(950)
+	if fq.Enqueue(mkPkt(1, 100)) {
+		t.Fatal("enqueue succeeded past the shared budget")
+	}
+	if fq.Drops() != 1 {
+		t.Fatalf("Drops = %d, want 1", fq.Drops())
+	}
+	// Room freed: the same packet fits, subject to the inner policy.
+	fq.SetFluidBytes(100)
+	if !fq.Enqueue(mkPkt(2, 100)) {
+		t.Fatal("enqueue failed with room available")
+	}
+	if fq.Bytes() != 200 { // 100 packet + 100 fluid
+		t.Fatalf("Bytes = %d, want 200", fq.Bytes())
+	}
+	if fq.PacketBytes() != 100 {
+		t.Fatalf("PacketBytes = %d, want 100", fq.PacketBytes())
+	}
+	if got := fq.fluidRoom(); got != 900 {
+		t.Fatalf("fluidRoom = %v, want 900", got)
+	}
+}
+
+func TestFluidAloneConvergesToCapacity(t *testing.T) {
+	const rate = 1_000_000.0
+	rig := newHybridRig(rate, 64_000, FluidConfig{
+		Classes: []FluidClassConfig{{
+			Name: "tcp", Flows: 500, PacketSize: 512, RTT: 0.04,
+		}},
+	})
+	const dur = 30.0
+	rig.eng.RunUntil(dur)
+
+	f := rig.fluid
+	got := f.ServedBytes / dur
+	// With no packet traffic the aggregate owns MaxFluidShare of the
+	// link; AIMD should fill most of it.
+	if got < 0.8*rate || got > MaxFluidShare*rate*1.001 {
+		t.Fatalf("fluid goodput %.0f B/s, want within [0.8, %.2f] of %.0f", got, MaxFluidShare, rate)
+	}
+	if f.Backoffs == 0 {
+		t.Fatal("an over-demanding aggregate never backed off")
+	}
+	if f.DroppedBytes <= 0 {
+		t.Fatal("no overflow drops despite a saturating aggregate")
+	}
+	if f.OfferedBytes < f.ServedBytes {
+		t.Fatalf("offered %.0f < served %.0f", f.OfferedBytes, f.ServedBytes)
+	}
+}
+
+func TestFluidBacklogBoundedByBuffer(t *testing.T) {
+	const queueBytes = 16_000
+	rig := newHybridRig(500_000, queueBytes, FluidConfig{
+		Classes: []FluidClassConfig{{
+			Name: "tcp", Flows: 1000, PacketSize: 512, RTT: 0.02,
+		}},
+	})
+	// Check the invariant at every coupling step, not just at the end.
+	maxSeen := 0.0
+	var watch func()
+	watch = func() {
+		if b := rig.fluid.Backlog(); b > maxSeen {
+			maxSeen = b
+		}
+		rig.eng.After(0.005, watch)
+	}
+	rig.eng.At(0, watch)
+	rig.eng.RunUntil(10)
+	if maxSeen > queueBytes+1e-6 {
+		t.Fatalf("fluid backlog peaked at %.0f, buffer is %d", maxSeen, queueBytes)
+	}
+	if maxSeen == 0 {
+		t.Fatal("a saturating aggregate never queued")
+	}
+}
+
+func TestFluidSharesLinkWithPacketForeground(t *testing.T) {
+	const rate = 1_000_000.0
+	// 50 flows: the class floor (one packet per RTT per flow, 640 KB/s)
+	// plus the foreground fits in the link, so AIMD probes around the
+	// leftover instead of pinning at the floor.
+	rig := newHybridRig(rate, 64_000, FluidConfig{
+		Classes: []FluidClassConfig{{
+			Name: "tcp", Flows: 50, PacketSize: 512, RTT: 0.04,
+		}},
+	})
+
+	// A constant-rate packet foreground at 30% of the link, 512 B every
+	// ~1.7 ms.
+	const fgRate = 0.3 * rate
+	const pktSize = 512
+	interval := pktSize / fgRate
+	delivered := 0
+	dst := ReceiverFunc(func(p *Packet) { delivered += p.Size })
+	var sendFn func()
+	sendFn = func() {
+		p := rig.eng.Pool().Get()
+		p.Size = pktSize
+		p.Kind = Data
+		p.Dst = dst
+		rig.link.Offer(p)
+		rig.eng.After(interval, sendFn)
+	}
+	rig.eng.At(0, sendFn)
+
+	const dur = 30.0
+	rig.eng.RunUntil(dur)
+
+	fgGot := float64(delivered) / dur
+	flGot := rig.fluid.ServedBytes / dur
+	// The foreground's constant offered load should get through nearly
+	// intact — the fluid reservation is measured *around* it — while the
+	// aggregate soaks up most of the rest.
+	if fgGot < 0.8*fgRate {
+		t.Fatalf("foreground goodput %.0f B/s, want >= 80%% of its %.0f offered", fgGot, fgRate)
+	}
+	if flGot < 0.4*rate {
+		t.Fatalf("fluid goodput %.0f B/s, want a substantial share of the %.0f residual", flGot, rate)
+	}
+	if total := fgGot + flGot; total > rate*1.001 {
+		t.Fatalf("combined goodput %.0f exceeds link capacity %.0f", total, rate)
+	}
+	if rig.link.FluidRate() <= 0 {
+		t.Fatal("no bandwidth reserved despite an active aggregate")
+	}
+}
+
+func TestFluidSaturationKeepsForegroundProportionalShare(t *testing.T) {
+	const rate = 1_000_000.0
+	const queueBytes = 64_000
+	// 300 flows' floor demand (~2.1 MB/s at the drain-cycle RTT) exceeds
+	// the link outright: the background saturates permanently. A
+	// saturated FIFO still serves the foreground its arrival-proportional
+	// share — cap * fg/(fg + demand) — so the foreground must land near
+	// that share, well above the 2% MaxFluidShare residual, not be
+	// squeezed out of the buffer.
+	rig := newHybridRig(rate, queueBytes, FluidConfig{
+		Classes: []FluidClassConfig{{
+			Name: "tcp", Flows: 300, PacketSize: 512, RTT: 0.04,
+		}},
+	})
+
+	const fgRate = 0.3 * rate
+	const pktSize = 512
+	interval := pktSize / fgRate
+	delivered := 0
+	dst := ReceiverFunc(func(p *Packet) { delivered += p.Size })
+	var sendFn func()
+	sendFn = func() {
+		p := rig.eng.Pool().Get()
+		p.Size = pktSize
+		p.Kind = Data
+		p.Dst = dst
+		rig.link.Offer(p)
+		rig.eng.After(interval, sendFn)
+	}
+	rig.eng.At(0, sendFn)
+
+	const dur = 30.0
+	rig.eng.RunUntil(dur)
+
+	fgGot := float64(delivered) / dur
+	flGot := rig.fluid.ServedBytes / dur
+	// The background's pinned demand: one packet per flow per
+	// drain-cycle RTT (base + half the queueing delay of the
+	// saturation-pinned full buffer).
+	floor := 300 * 512 / (0.04 + 0.5*queueBytes/rate)
+	share := rate * fgRate / (fgRate + floor)
+	if fgGot < 0.6*share || fgGot > 1.5*share {
+		t.Fatalf("foreground goodput %.0f B/s under a saturating background, want near its %.0f FIFO share", fgGot, share)
+	}
+	if flGot < 0.5*rate {
+		t.Fatalf("fluid goodput %.0f B/s, want the majority of the link", flGot)
+	}
+	if total := fgGot + flGot; total > rate*1.001 {
+		t.Fatalf("combined goodput %.0f exceeds link capacity %.0f", total, rate)
+	}
+}
+
+func TestNewFluidValidation(t *testing.T) {
+	e := NewEngine()
+	fq := NewFluidQueue(NewDropTail(1000), 1000)
+	l := NewLink(e, fq, 1000, 0)
+
+	for name, cfg := range map[string]FluidConfig{
+		"no classes":   {},
+		"zero flows":   {Classes: []FluidClassConfig{{Name: "x", PacketSize: 512, RTT: 0.1}}},
+		"zero size":    {Classes: []FluidClassConfig{{Name: "x", Flows: 1, RTT: 0.1}}},
+		"zero rtt":     {Classes: []FluidClassConfig{{Name: "x", Flows: 1, PacketSize: 512}}},
+		"negative rtt": {Classes: []FluidClassConfig{{Name: "x", Flows: 1, PacketSize: 512, RTT: -1}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewFluid did not panic", name)
+				}
+			}()
+			NewFluid(e, l, fq, cfg)
+		}()
+	}
+
+	// Defaults: rate floor, beta, interval.
+	f := NewFluid(e, l, fq, FluidConfig{
+		Classes: []FluidClassConfig{{Name: "tcp", Flows: 10, PacketSize: 512, RTT: 0.1}},
+	})
+	if want := 10 * 512 / 0.1; f.Rate() != want {
+		t.Fatalf("default initial rate %v, want the class floor %v", f.Rate(), want)
+	}
+	if f.Flows() != 10 {
+		t.Fatalf("Flows = %d, want 10", f.Flows())
+	}
+	if f.ClassRate("tcp") != f.Rate() {
+		t.Fatalf("ClassRate(tcp) = %v, want %v", f.ClassRate("tcp"), f.Rate())
+	}
+	if f.ClassRate("nope") != 0 {
+		t.Fatalf("ClassRate(nope) = %v, want 0", f.ClassRate("nope"))
+	}
+}

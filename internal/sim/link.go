@@ -39,6 +39,12 @@ type Link struct {
 	freeAt float64
 	wake   Timer
 
+	// fluidRate is the bandwidth currently reserved by a hybrid fluid
+	// aggregate (SetFluidRate); packets serialize at the residual
+	// rate - fluidRate. Zero outside hybrid runs, where the residual is
+	// bit-identical to the full rate.
+	fluidRate float64
+
 	// deliverFn/txDoneFn are bound once at construction so the
 	// per-packet events schedule via AtFunc without minting closures.
 	deliverFn func(any)
@@ -92,6 +98,34 @@ func (o engineOut) Drop(p *Packet)                { o.l.eng.pool.Put(p) }
 
 // Rate returns the link bandwidth in bytes per second.
 func (l *Link) Rate() float64 { return l.rate }
+
+// MaxFluidShare caps the fraction of a link a fluid aggregate may
+// reserve: the packet path always retains at least 2% of the capacity,
+// so a background population that out-demands the link slows the
+// foreground down arbitrarily far but can never wedge it (a reserved
+// rate equal to the capacity would make serialization time infinite).
+const MaxFluidShare = 0.98
+
+// SetFluidRate reserves r bytes/s of the link for a fluid traffic
+// aggregate; subsequent packet serializations run at the residual
+// Rate() - r. Requests are clamped into [0, MaxFluidShare*Rate()] —
+// never rejected — because the caller's reservation is a measurement
+// (the aggregate's serviced bandwidth) that may legitimately approach
+// the capacity when the background population dwarfs the packet
+// foreground. Packets already being serialized keep their computed
+// finish time; the new rate applies from the next dequeue.
+func (l *Link) SetFluidRate(r float64) {
+	if r < 0 {
+		r = 0
+	}
+	if max := l.rate * MaxFluidShare; r > max {
+		r = max
+	}
+	l.fluidRate = r
+}
+
+// FluidRate returns the currently reserved fluid bandwidth in bytes/s.
+func (l *Link) FluidRate() float64 { return l.fluidRate }
 
 // Delay returns the propagation delay in seconds.
 func (l *Link) Delay() float64 { return l.delay }
@@ -152,7 +186,7 @@ func (l *Link) transmitNext() {
 	if p == nil {
 		return
 	}
-	txTime := float64(p.Size) / l.rate
+	txTime := float64(p.Size) / (l.rate - l.fluidRate)
 	l.TxBytes += int64(p.Size)
 	l.TxPackets++
 	if l.delayHist != nil {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -290,6 +291,63 @@ func TestREDIdleDecaysAverage(t *testing.T) {
 	q2.Enqueue(mkPkt(99, 512))
 	if q2.avg < busy2*(1-0.1)*0.999 {
 		t.Fatalf("clockless RED decayed avg to %g (busy %g); want a single EWMA step", q2.avg, busy2)
+	}
+}
+
+// A hybrid fluid backlog registered via SetAuxBytes must count toward
+// RED's averaged queue length, suppress idle decay while it is nonzero,
+// and surface through EarlyDropProb's deterministic ramp.
+func TestREDAuxBytesAndEarlyDropProb(t *testing.T) {
+	q := NewRED(REDConfig{LimitBytes: 1 << 20, MeanPktSize: 512,
+		MinThresh: 5, MaxThresh: 15, MaxP: 0.1, Wq: 0.5, Seed: 7})
+	if got := q.EarlyDropProb(); got != 0 {
+		t.Fatalf("EarlyDropProb on an empty queue = %v, want 0", got)
+	}
+
+	// 10 mean packets of fluid occupancy, zero packet bytes: arrivals
+	// must still push the average toward 10, halfway up the ramp.
+	q.SetAuxBytes(func() float64 { return 10 * 512 })
+	for i := 0; i < 40; i++ {
+		p := mkPkt(int64(i), 512)
+		if q.Enqueue(p) {
+			q.Dequeue()
+		}
+	}
+	// avg has converged near 10 packets (the enqueued packet adds ~1).
+	if q.avg < 9 || q.avg > 12 {
+		t.Fatalf("avg = %v with a 10-packet fluid backlog, want ~10", q.avg)
+	}
+	want := 0.1 * (q.avg - 5) / (15 - 5)
+	if got := q.EarlyDropProb(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EarlyDropProb = %v, want ramp value %v", got, want)
+	}
+
+	// Pin the average above MaxThresh: the ramp saturates at 1.
+	q.SetAuxBytes(func() float64 { return 100 * 512 })
+	for i := 0; i < 20; i++ {
+		q.Enqueue(mkPkt(int64(100+i), 512))
+	}
+	if got := q.EarlyDropProb(); got != 1 {
+		t.Fatalf("EarlyDropProb above MaxThresh = %v, want 1", got)
+	}
+
+	// Idle decay must not fire while fluid occupancy persists: a queue
+	// holding fluid is not idle, whatever its packet count.
+	now := 0.0
+	q2 := NewRED(REDConfig{LimitBytes: 1 << 20, MeanPktSize: 512,
+		MinThresh: 1e6, MaxThresh: 3e6, Wq: 0.1, Seed: 7,
+		Now: func() float64 { return now }, LinkRate: 512})
+	q2.SetAuxBytes(func() float64 { return 20 * 512 })
+	for i := 0; i < 50; i++ {
+		if q2.Enqueue(mkPkt(int64(i), 512)) {
+			q2.Dequeue()
+		}
+	}
+	busy := q2.avg
+	now = 1000 // would decay avg to ~0 were the queue considered idle
+	q2.Enqueue(mkPkt(99, 512))
+	if q2.avg < busy*0.5 {
+		t.Fatalf("avg decayed to %g (busy %g) despite fluid occupancy", q2.avg, busy)
 	}
 }
 

@@ -40,6 +40,13 @@ type RED struct {
 	now    func() float64
 	txTime float64 // seconds to transmit one MeanPktSize packet
 	idleAt float64 // virtual time the queue went idle
+
+	// aux, when set, supplies additional shared-buffer occupancy (a
+	// hybrid fluid aggregate's backlog) included in the averaged queue
+	// length: RED at a mixed bottleneck reacts to the whole queue, not
+	// just the packet-level slice of it. Nil outside hybrid runs, where
+	// the average is byte-identical to the classic computation.
+	aux func() float64
 }
 
 // REDConfig holds RED parameters. Zero fields get classic defaults.
@@ -98,17 +105,45 @@ func NewRED(cfg REDConfig) *RED {
 	return q
 }
 
+// SetAuxBytes registers a supplementary occupancy source (a hybrid
+// fluid backlog) folded into the averaged queue length. Call before
+// the simulation starts; nil keeps the classic packet-only average.
+func (q *RED) SetAuxBytes(aux func() float64) { q.aux = aux }
+
+// EarlyDropProb returns the current base drop probability for an
+// average-size arrival — the Floyd-Jacobson ramp from 0 at MinThresh
+// to MaxP at MaxThresh, 1 above — without updating the average or
+// consuming randomness. A fluid aggregate applies this rate to its
+// arrivals each coupling step, so the background sees the same early
+// congestion signal the packet flows do.
+func (q *RED) EarlyDropProb() float64 {
+	switch {
+	case q.avg >= q.maxTh:
+		return 1
+	case q.avg >= q.minTh:
+		return q.maxP * (q.avg - q.minTh) / (q.maxTh - q.minTh)
+	default:
+		return 0
+	}
+}
+
 // Enqueue implements Queue with early random dropping.
 func (q *RED) Enqueue(p *Packet) bool {
-	if q.count == 0 && q.now != nil {
+	if q.count == 0 && q.now != nil && (q.aux == nil || q.aux() == 0) {
 		// Arrival to an idle queue: decay the average as if the idle
 		// period had been m empty packet slots (avg *= (1-wq)^m)
-		// instead of applying a single EWMA step toward zero.
+		// instead of applying a single EWMA step toward zero. A queue
+		// holding fluid occupancy is not idle, whatever its packet
+		// count.
 		if m := (q.now() - q.idleAt) / q.txTime; m > 0 {
 			q.avg *= math.Pow(1-q.wq, m)
 		}
 	} else {
-		qlen := float64(q.bytes) / float64(q.meanPkt)
+		occ := float64(q.bytes)
+		if q.aux != nil {
+			occ += q.aux()
+		}
+		qlen := occ / float64(q.meanPkt)
 		q.avg = (1-q.wq)*q.avg + q.wq*qlen
 	}
 
