@@ -1,0 +1,358 @@
+// Command qaload drives thousands of concurrent emulated streaming
+// clients over loopback against the multi-client server, with the
+// fleet's staggered-join logic, and reports goodput, Jain fairness,
+// and heap stability. It is the serving-path counterpart of qabench:
+// scripts/bench.sh archives its JSON as BENCH_SERVE.json.
+//
+// By default it spins up an in-process netio.MultiServer on loopback
+// and measures the whole serving path end to end; point -addr at an
+// external qaserver to load that instead.
+//
+// Examples:
+//
+//	qaload -clients 1000 -dur 10s -soak -out BENCH_SERVE.json
+//	qaload -clients 64 -dur 8s -batch generic   # unbatched A/B leg
+//	qaload -clients 256 -dur 6s -check BENCH_SERVE.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"qav/internal/core"
+	"qav/internal/netio"
+	"qav/internal/rap"
+)
+
+// serveBench is the JSON shape archived as BENCH_SERVE.json.
+type serveBench struct {
+	GoOS      string  `json:"goos"`
+	GoArch    string  `json:"goarch"`
+	CPUs      int     `json:"cpus"`
+	BatchKind string  `json:"batch_kind"`
+	Shards    int     `json:"shards"`
+	Clients   int     `json:"clients"`
+	DurSec    float64 `json:"dur_sec"`
+	PktSize   int     `json:"pkt_size"`
+	MaxRate   float64 `json:"max_rate_bps"`
+
+	JoinsPerSec    float64 `json:"joins_per_sec"`
+	PktsPerSec     float64 `json:"pkts_per_sec"`
+	GoodputBps     float64 `json:"goodput_bps"`
+	Jain           float64 `json:"jain"`
+	Starved        int     `json:"starved"`
+	AllocsPerPkt   float64 `json:"allocs_per_pkt"`
+	HeapStartBytes uint64  `json:"heap_start_bytes"`
+	HeapEndBytes   uint64  `json:"heap_end_bytes"`
+
+	SrvSent      int64 `json:"srv_sent"`
+	SrvAcked     int64 `json:"srv_acked"`
+	SrvBadPkts   int64 `json:"srv_bad_pkts"`
+	SrvNackDrops int64 `json:"srv_nack_drops"`
+	SrvInboxDrop int64 `json:"srv_inbox_drops"`
+
+	// AB holds the unbatched-fallback leg when -ab is set, for the
+	// batched-vs-generic comparison.
+	AB *serveBench `json:"ab_generic,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "server address to load (empty = in-process MultiServer on loopback)")
+	clients := flag.Int("clients", 1000, "concurrent emulated clients")
+	dur := flag.Duration("dur", 10*time.Second, "stream duration each client requests")
+	stagger := flag.Duration("stagger", time.Second, "join stagger window")
+	shards := flag.Int("shards", 0, "server client-table shards (0 = auto)")
+	batch := flag.String("batch", "", "batch I/O kind: auto, mmsg, generic")
+	// The defaults are chosen coherent: two layers (2 x 6000 B/s) fit
+	// comfortably under the 16000 B/s rate cap, so per-client state
+	// reaches a steady layer allocation instead of churning add/drop
+	// at the cap forever.
+	c := flag.Float64("c", 6_000, "per-layer consumption rate, bytes/s")
+	kmax := flag.Int("kmax", 2, "smoothing factor")
+	layers := flag.Int("layers", 8, "maximum encoded layers")
+	pkt := flag.Int("pkt", 512, "packet size, bytes")
+	maxRate := flag.Float64("max-rate", 16_000, "per-client rate cap, bytes/s (0 = none)")
+	soak := flag.Bool("soak", false, "assert goodput, fairness, and heap stability; exit nonzero on violation")
+	ab := flag.Bool("ab", false, "also run the unbatched generic leg for an A/B comparison (in-process only)")
+	out := flag.String("out", "", "write results as JSON (e.g. BENCH_SERVE.json)")
+	check := flag.String("check", "", "compare against a recorded BENCH_SERVE.json; exit nonzero on regression")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the run")
+	flag.Parse()
+
+	if *memprofile != "" {
+		runtime.MemProfileRate = 1
+	}
+
+	kind := netio.BatchKind(*batch)
+	if *batch == "auto" {
+		kind = netio.BatchAuto
+	}
+
+	res, err := runOnce(*addr, kind, *clients, *dur, *stagger, *shards, *c, *kmax, *layers, *pkt, *maxRate)
+	if err != nil {
+		fatal(err)
+	}
+	report(res)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	if *ab {
+		if *addr != "" {
+			fatal(fmt.Errorf("-ab needs the in-process server (drop -addr)"))
+		}
+		fmt.Printf("qaload: A/B leg with generic (unbatched) I/O\n")
+		gen, err := runOnce("", netio.BatchGeneric, *clients, *dur, *stagger, *shards, *c, *kmax, *layers, *pkt, *maxRate)
+		if err != nil {
+			fatal(err)
+		}
+		report(gen)
+		res.AB = gen
+		if gen.PktsPerSec > 0 {
+			fmt.Printf("qaload: batched %.0f pkts/s vs unbatched %.0f pkts/s (%.2fx)\n",
+				res.PktsPerSec, gen.PktsPerSec, res.PktsPerSec/gen.PktsPerSec)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("qaload: wrote %s\n", *out)
+	}
+
+	if *check != "" {
+		if err := checkAgainst(*check, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("qaload: within budget of %s\n", *check)
+	}
+
+	if *soak {
+		if err := soakAssert(res); err != nil {
+			fatal(err)
+		}
+		fmt.Println("qaload: soak assertions passed")
+	}
+}
+
+// runOnce performs one full load run and gathers the bench record.
+func runOnce(addr string, kind netio.BatchKind, clients int, dur, stagger time.Duration,
+	shards int, c float64, kmax, layers, pkt int, maxRate float64) (*serveBench, error) {
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var srv *netio.MultiServer
+	var srvWg sync.WaitGroup
+	target := addr
+	if target == "" {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return nil, err
+		}
+		defer conn.Close()
+		srv, err = netio.NewMultiServer(conn, netio.MultiConfig{
+			QA:        core.Params{C: c, Kmax: kmax, MaxLayers: layers, StartupSec: 0.2},
+			RAP:       rap.Config{PacketSize: pkt, MaxRate: maxRate, InitialRTT: 0.02},
+			Shards:    shards,
+			BatchKind: kind,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srvWg.Add(1)
+		go func() {
+			defer srvWg.Done()
+			srv.Serve(ctx)
+		}()
+		target = srv.Addr()
+		fmt.Printf("qaload: in-process server on %s (%s batch, %d clients x %.0f B/s cap)\n",
+			target, srv.BatchKind(), clients, maxRate)
+	}
+
+	// Heap sampler: HeapAlloc every 250 ms over the run; start/end
+	// medians of the 2nd and 4th quarters summarize stability.
+	heap := make([]uint64, 0, 1024)
+	var heapMu sync.Mutex
+	sampleDone := make(chan struct{})
+	go func() {
+		t := time.NewTicker(250 * time.Millisecond)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-sampleDone:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				heapMu.Lock()
+				heap = append(heap, ms.HeapAlloc)
+				heapMu.Unlock()
+			}
+		}
+	}()
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	res, err := netio.RunLoad(ctx, netio.LoadConfig{
+		Addr:    target,
+		Clients: clients,
+		Dur:     dur,
+		Stagger: stagger,
+	})
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	close(sampleDone)
+	cancel()
+	srvWg.Wait()
+	if err != nil {
+		return nil, err
+	}
+
+	b := &serveBench{
+		GoOS:    runtime.GOOS,
+		GoArch:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Shards:  shards,
+		Clients: clients,
+		DurSec:  dur.Seconds(),
+		PktSize: pkt,
+		MaxRate: maxRate,
+
+		JoinsPerSec: float64(clients) / stagger.Seconds(),
+		PktsPerSec:  float64(res.PktsTotal) / elapsed.Seconds(),
+		GoodputBps:  res.GoodputTotal,
+		Jain:        res.Jain,
+		Starved:     res.Starved,
+	}
+	if srv != nil {
+		b.BatchKind = string(srv.BatchKind())
+		st := srv.Stats()
+		b.SrvSent = st.SentPkts
+		b.SrvAcked = st.AckedPkts
+		b.SrvBadPkts = st.BadPackets
+		b.SrvNackDrops = st.NackDrops
+		b.SrvInboxDrop = st.InboxDrops
+		if st.SentPkts > 0 {
+			// Whole-process allocation rate per served packet: with the
+			// send loop, batch layer, and load clients all allocation-free
+			// at steady state, this stays well under one.
+			b.AllocsPerPkt = float64(ms1.Mallocs-ms0.Mallocs) / float64(st.SentPkts)
+		}
+	} else {
+		b.BatchKind = "external"
+		if res.PktsTotal > 0 {
+			b.AllocsPerPkt = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.PktsTotal)
+		}
+	}
+	heapMu.Lock()
+	if n := len(heap); n >= 8 {
+		b.HeapStartBytes = medianU64(heap[n/4 : n/2])
+		b.HeapEndBytes = medianU64(heap[3*n/4:])
+	} else if n > 0 {
+		b.HeapStartBytes = heap[0]
+		b.HeapEndBytes = heap[n-1]
+	}
+	heapMu.Unlock()
+	return b, nil
+}
+
+func report(b *serveBench) {
+	fmt.Printf("qaload: %d clients, %.1fs: %.0f pkts/s, goodput %.0f B/s total, jain %.3f, starved %d, %.2f allocs/pkt, heap %.1f->%.1f MB\n",
+		b.Clients, b.DurSec, b.PktsPerSec, b.GoodputBps, b.Jain, b.Starved,
+		b.AllocsPerPkt, float64(b.HeapStartBytes)/1e6, float64(b.HeapEndBytes)/1e6)
+	if b.SrvSent > 0 {
+		fmt.Printf("qaload: server sent=%d acked=%d retrans-drops=%d inbox-drops=%d bad=%d\n",
+			b.SrvSent, b.SrvAcked, b.SrvNackDrops, b.SrvInboxDrop, b.SrvBadPkts)
+	}
+}
+
+// soakAssert enforces the soak invariants: everyone was served, service
+// was fair, the send path did not allocate per packet, and the heap did
+// not creep over the run.
+func soakAssert(b *serveBench) error {
+	if b.Starved > 0 {
+		return fmt.Errorf("soak: %d of %d clients starved", b.Starved, b.Clients)
+	}
+	if b.GoodputBps <= 0 {
+		return fmt.Errorf("soak: zero aggregate goodput")
+	}
+	if b.Jain < 0.5 {
+		return fmt.Errorf("soak: Jain fairness %.3f < 0.5", b.Jain)
+	}
+	if b.AllocsPerPkt > 1.0 {
+		return fmt.Errorf("soak: %.2f allocs per served packet (want < 1; the send loop itself must be 0)", b.AllocsPerPkt)
+	}
+	if b.HeapStartBytes > 0 && float64(b.HeapEndBytes) > 1.5*float64(b.HeapStartBytes)+8e6 {
+		return fmt.Errorf("soak: heap grew %.1f MB -> %.1f MB over the run",
+			float64(b.HeapStartBytes)/1e6, float64(b.HeapEndBytes)/1e6)
+	}
+	return nil
+}
+
+// checkAgainst compares throughput per client against a recorded run,
+// with a 35% budget (loopback throughput is host-relative; this is the
+// same advisory role as qabench -check).
+func checkAgainst(path string, cur *serveBench) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rec serveBench
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if rec.Clients <= 0 || rec.PktsPerSec <= 0 {
+		return fmt.Errorf("%s: no recorded pkts/sec to compare", path)
+	}
+	recPer := rec.PktsPerSec / float64(rec.Clients)
+	curPer := cur.PktsPerSec / float64(cur.Clients)
+	if curPer < 0.65*recPer {
+		return fmt.Errorf("pkts/sec/client %.1f fell below 65%% of recorded %.1f", curPer, recPer)
+	}
+	if cur.AllocsPerPkt > 1.0 {
+		return fmt.Errorf("allocs per packet %.2f regressed (recorded %.2f)", cur.AllocsPerPkt, rec.AllocsPerPkt)
+	}
+	return nil
+}
+
+func medianU64(v []uint64) uint64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]uint64(nil), v...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qaload:", err)
+	os.Exit(1)
+}

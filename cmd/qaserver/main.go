@@ -1,10 +1,14 @@
 // Command qaserver streams layered video data over UDP with RAP
-// congestion control and quality adaptation, serving one client at a
-// time. Pair it with qaclient.
+// congestion control and quality adaptation. By default it serves many
+// clients concurrently from a sharded client table over batched I/O
+// (netio.MultiServer); -single restores the original one-client-at-a-
+// time endpoint. Pair it with qaclient, or load it with qaload.
 //
-// Example:
+// Examples:
 //
 //	qaserver -listen 127.0.0.1:9000 -c 20000 -kmax 2
+//	qaserver -listen 127.0.0.1:9000 -shards 4 -metrics 127.0.0.1:9090
+//	qaserver -single -once   # legacy single-stream mode
 package main
 
 import (
@@ -29,9 +33,13 @@ func main() {
 	kmax := flag.Int("kmax", 2, "smoothing factor")
 	layers := flag.Int("layers", 8, "maximum encoded layers")
 	pkt := flag.Int("pkt", 512, "packet size, bytes")
-	maxRate := flag.Float64("max-rate", 0, "cap on transmission rate, bytes/s (0 = none)")
-	once := flag.Bool("once", false, "serve a single stream then exit")
-	metricsAddr := flag.String("metrics", "", "HTTP address serving the current stream's metrics as JSON (e.g. 127.0.0.1:9090; empty = disabled)")
+	maxRate := flag.Float64("max-rate", 0, "cap on per-client transmission rate, bytes/s (0 = none)")
+	shards := flag.Int("shards", 0, "client-table shards (0 = auto: one per core, max 8)")
+	batch := flag.String("batch", "", "batch I/O kind: auto, mmsg, generic")
+	maxClients := flag.Int("max-clients", 4096, "concurrent stream cap (joins beyond it are refused)")
+	single := flag.Bool("single", false, "serve one client at a time (the paper's original endpoint)")
+	once := flag.Bool("once", false, "with -single: serve a single stream then exit")
+	metricsAddr := flag.String("metrics", "", "HTTP address serving current metrics as JSON (e.g. 127.0.0.1:9090; empty = disabled)")
 	flag.Parse()
 
 	la, err := net.ResolveUDPAddr("udp", *listen)
@@ -47,8 +55,44 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	fmt.Printf("qaserver: listening on %s (C=%.0f B/s, Kmax=%d, %d layers)\n",
-		conn.LocalAddr(), *c, *kmax, *layers)
+	if *single {
+		serveSingle(ctx, conn, *c, *kmax, *layers, *pkt, *maxRate, *once, *metricsAddr)
+		return
+	}
+
+	kind := netio.BatchKind(*batch)
+	if *batch == "auto" {
+		kind = netio.BatchAuto
+	}
+	srv, err := netio.NewMultiServer(conn, netio.MultiConfig{
+		QA:         core.Params{C: *c, Kmax: *kmax, MaxLayers: *layers, StartupSec: 0.5},
+		RAP:        rap.Config{PacketSize: *pkt, MaxRate: *maxRate, InitialRTT: 0.05},
+		Shards:     *shards,
+		BatchKind:  kind,
+		MaxClients: *maxClients,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("qaserver: listening on %s (C=%.0f B/s, Kmax=%d, %d layers, %s batch, max %d clients)\n",
+		conn.LocalAddr(), *c, *kmax, *layers, srv.BatchKind(), *maxClients)
+	if *metricsAddr != "" {
+		go serveMetrics(*metricsAddr, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			srv.WriteMetricsJSON(w)
+		}))
+	}
+	err = srv.Serve(ctx)
+	st := srv.Stats()
+	fmt.Printf("qaserver: done: accepted=%d sent=%d acked=%d retransmits=%d bad=%d err=%v\n",
+		st.Accepted, st.SentPkts, st.AckedPkts, st.Retransmits, st.BadPackets, err)
+}
+
+// serveSingle is the original one-client loop, one stream per
+// netio.Server instance.
+func serveSingle(ctx context.Context, conn *net.UDPConn, c float64, kmax, layers, pkt int, maxRate float64, once bool, metricsAddr string) {
+	fmt.Printf("qaserver: listening on %s (C=%.0f B/s, Kmax=%d, %d layers, single-client)\n",
+		conn.LocalAddr(), c, kmax, layers)
 
 	// The current stream's server, for the metrics endpoint. A new
 	// *netio.Server is created per stream, so the handler re-reads it.
@@ -56,32 +100,26 @@ func main() {
 		curMu  sync.Mutex
 		curSrv *netio.Server
 	)
-	if *metricsAddr != "" {
-		go func() {
-			h := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-				curMu.Lock()
-				srv := curSrv
-				curMu.Unlock()
-				if srv == nil {
-					http.Error(w, "no stream yet", http.StatusServiceUnavailable)
-					return
-				}
-				w.Header().Set("Content-Type", "application/json")
-				srv.WriteMetricsJSON(w)
-			})
-			if err := http.ListenAndServe(*metricsAddr, h); err != nil {
-				fmt.Fprintln(os.Stderr, "qaserver: metrics endpoint:", err)
+	if metricsAddr != "" {
+		go serveMetrics(metricsAddr, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			curMu.Lock()
+			srv := curSrv
+			curMu.Unlock()
+			if srv == nil {
+				http.Error(w, "no stream yet", http.StatusServiceUnavailable)
+				return
 			}
-		}()
-		fmt.Printf("qaserver: metrics at http://%s/\n", *metricsAddr)
+			w.Header().Set("Content-Type", "application/json")
+			srv.WriteMetricsJSON(w)
+		}))
 	}
 
 	for {
 		srv, err := netio.NewServer(conn, netio.ServerConfig{
-			QA: core.Params{C: *c, Kmax: *kmax, MaxLayers: *layers, StartupSec: 0.5},
+			QA: core.Params{C: c, Kmax: kmax, MaxLayers: layers, StartupSec: 0.5},
 			RAP: rap.Config{
-				PacketSize: *pkt,
-				MaxRate:    *maxRate,
+				PacketSize: pkt,
+				MaxRate:    maxRate,
 				InitialRTT: 0.05,
 			},
 		})
@@ -97,9 +135,16 @@ func main() {
 		fmt.Printf("qaserver: stream done in %.1fs: sent=%d acked=%d backoffs=%d layers=%d rate=%.0fB/s err=%v\n",
 			time.Since(start).Seconds(), st.SentPkts, st.AckedPkts, st.Backoffs,
 			st.ActiveLayers, st.Rate, err)
-		if ctx.Err() != nil || *once {
+		if ctx.Err() != nil || once {
 			return
 		}
+	}
+}
+
+func serveMetrics(addr string, h http.Handler) {
+	fmt.Printf("qaserver: metrics at http://%s/\n", addr)
+	if err := http.ListenAndServe(addr, h); err != nil {
+		fmt.Fprintln(os.Stderr, "qaserver: metrics endpoint:", err)
 	}
 }
 

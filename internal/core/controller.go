@@ -30,6 +30,12 @@ type Controller struct {
 	// Cached allocation (recomputed on every Tick).
 	shares []float64 // per-layer network share, bytes/s
 
+	// Scratch buffers reused across allocation recomputations: the
+	// draining planner runs on every backoff, and a long-lived serving
+	// session must not allocate there.
+	ladder    []State
+	drainsBuf []float64
+
 	rate  float64 // last known transmission rate
 	slope float64 // last known additive-increase slope
 
@@ -331,7 +337,8 @@ func (c *Controller) computeShares(now float64) {
 	h := c.P.PlanHorizon
 	need := (total - R) * h
 	ladder := c.drainLadder(R)
-	drains, unmet := DrainPlan(ladder, c.bufs[:c.na], need, cons*h)
+	drains, unmet := DrainPlanInto(c.drainsBuf, ladder, c.bufs[:c.na], need, cons*h)
+	c.drainsBuf = drains
 	if unmet > 1e-9 {
 		// Shortfall this horizon: count it toward the arrears (scaled to
 		// the time actually elapsed) and only treat it as a critical
@@ -350,7 +357,8 @@ func (c *Controller) computeShares(now float64) {
 			}
 			need = (total - R) * h
 			ladder = c.drainLadder(R)
-			drains, unmet = DrainPlan(ladder, c.bufs[:c.na], need, cons*h)
+			drains, unmet = DrainPlanInto(c.drainsBuf, ladder, c.bufs[:c.na], need, cons*h)
+			c.drainsBuf = drains
 		}
 	} else {
 		c.arrears = 0
@@ -418,7 +426,8 @@ func (c *Controller) drainLadder(R float64) []State {
 	if c.P.Alloc != AllocOptimal {
 		return nil
 	}
-	return StateLadder(R, c.na, 0, c.P.Kmax, c.P.C, c.slope)
+	c.ladder = AppendStateLadder(c.ladder, R, c.na, 0, c.P.Kmax, c.P.C, c.slope)
+	return c.ladder
 }
 
 func (c *Controller) safeSlope(s float64) float64 {
@@ -431,6 +440,12 @@ func (c *Controller) safeSlope(s float64) float64 {
 }
 
 func (c *Controller) event(e Event) {
+	if c.P.MaxEvents > 0 && len(c.Events) >= c.P.MaxEvents {
+		// Keep the most recent half; amortized O(1) per event and the
+		// slice capacity never exceeds the cap.
+		n := copy(c.Events, c.Events[len(c.Events)-c.P.MaxEvents/2:])
+		c.Events = c.Events[:n]
+	}
 	c.Events = append(c.Events, e)
 	c.record(e)
 }

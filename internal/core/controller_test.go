@@ -454,3 +454,45 @@ func TestControllerInvariantsUnderRandomProcess(t *testing.T) {
 		}
 	}
 }
+
+// TestEventLogBounded: with MaxEvents set, the decision log keeps only
+// recent history instead of growing without bound — the serving path
+// depends on this for hour-long streams whose rate straddles a layer
+// boundary (perpetual add/drop churn).
+func TestEventLogBounded(t *testing.T) {
+	c, err := NewController(Params{C: 1000, MaxEvents: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		c.event(Event{Time: float64(i)})
+	}
+	if len(c.Events) > 64 {
+		t.Fatalf("event log holds %d entries, cap is 64", len(c.Events))
+	}
+	if cap(c.Events) > 128 {
+		t.Fatalf("event log capacity %d kept growing past the cap", cap(c.Events))
+	}
+	// The survivors must be the newest events.
+	last := c.Events[len(c.Events)-1]
+	if last.Time != 9999 {
+		t.Fatalf("newest event lost: tail is t=%v", last.Time)
+	}
+	for i := 1; i < len(c.Events); i++ {
+		if c.Events[i].Time <= c.Events[i-1].Time {
+			t.Fatalf("event order broken at %d: %v after %v", i, c.Events[i].Time, c.Events[i-1].Time)
+		}
+	}
+
+	// Unset cap: the full log survives (simulator behavior unchanged).
+	c2, err := NewController(Params{C: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		c2.event(Event{Time: float64(i)})
+	}
+	if len(c2.Events) != 10_000 {
+		t.Fatalf("uncapped log truncated to %d", len(c2.Events))
+	}
+}

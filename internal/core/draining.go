@@ -12,8 +12,22 @@ package core
 // not be covered even after draining every layer to zero at full
 // consumption rate — a critical situation (§2.2) requiring layer drops.
 func DrainPlan(ladder []State, bufs []float64, need, maxPerLayer float64) (drains []float64, unmet float64) {
+	return DrainPlanInto(nil, ladder, bufs, need, maxPerLayer)
+}
+
+// DrainPlanInto is DrainPlan writing into dst when its capacity
+// suffices, so a per-tick caller reuses one buffer instead of
+// allocating a plan per recomputation. The result aliases dst.
+func DrainPlanInto(dst []float64, ladder []State, bufs []float64, need, maxPerLayer float64) (drains []float64, unmet float64) {
 	na := len(bufs)
-	drains = make([]float64, na)
+	if cap(dst) >= na {
+		drains = dst[:na]
+		for i := range drains {
+			drains[i] = 0
+		}
+	} else {
+		drains = make([]float64, na)
+	}
 	if need <= 0 {
 		return drains, 0
 	}

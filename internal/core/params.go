@@ -79,6 +79,12 @@ type Params struct {
 	// the base layer holds; a small reserve prevents exactly the
 	// "poor distribution" drops Table 2 counts.
 	ProtectSec float64
+	// MaxEvents bounds the decision log: past the cap the oldest half
+	// is discarded, keeping recent history. Zero keeps the full log
+	// (the simulator's default — analyses replay the whole run); a
+	// long-running server sets a cap so a churning stream cannot grow
+	// memory without bound.
+	MaxEvents int
 }
 
 // Validate checks parameter sanity.

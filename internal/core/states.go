@@ -1,7 +1,5 @@
 package core
 
-import "sort"
-
 // State is one optimal buffer state on the maximally efficient path
 // (Figs 8-10): the per-layer buffer targets required to survive K
 // backoffs under Scen, made cumulative along the path so that filling
@@ -30,10 +28,19 @@ type State struct {
 // omitted. kmin of 0 includes the "finish the current drain" state used
 // by the draining allocator when R is already below na·C.
 func StateLadder(R float64, na, kmin, kmax int, C, S float64) []State {
+	return AppendStateLadder(nil, R, na, kmin, kmax, C, S)
+}
+
+// AppendStateLadder is StateLadder reusing dst's backing storage — the
+// returned slice and the Layer slices of its entries are recycled, so a
+// caller that rebuilds the ladder on every backoff (the serving path's
+// draining allocator) holds the heap steady. The result aliases dst and
+// is valid until the next call with the same dst.
+func AppendStateLadder(dst []State, R float64, na, kmin, kmax int, C, S float64) []State {
+	raw := dst[:0]
 	if na <= 0 || kmax < kmin {
-		return nil
+		return raw
 	}
-	var raw []State
 	for k := kmin; k <= kmax; k++ {
 		for _, sc := range []Scenario{Scenario1, Scenario2} {
 			tot := BufTotal(sc, R, na, k, C, S)
@@ -44,33 +51,50 @@ func StateLadder(R float64, na, kmin, kmax int, C, S float64) []State {
 				// Identical to the scenario-1 state (k <= k1): skip dup.
 				continue
 			}
-			st := State{Scen: sc, K: k, RawTotal: tot, Layer: make([]float64, na)}
-			for i := 0; i < na; i++ {
-				st.Layer[i] = BufLayer(sc, R, na, k, i, C, S)
+			var layer []float64
+			if n := len(raw); n < cap(raw) {
+				layer = raw[:n+1][n].Layer // recycle the evicted entry's slice
 			}
-			raw = append(raw, st)
+			if cap(layer) < na {
+				layer = make([]float64, na)
+			}
+			layer = layer[:na]
+			for i := 0; i < na; i++ {
+				layer[i] = BufLayer(sc, R, na, k, i, C, S)
+			}
+			raw = append(raw, State{Scen: sc, K: k, RawTotal: tot, Layer: layer})
 		}
 	}
-	sort.SliceStable(raw, func(i, j int) bool {
-		if raw[i].RawTotal != raw[j].RawTotal {
-			return raw[i].RawTotal < raw[j].RawTotal
+	// Stable insertion sort by (RawTotal, Scen): the ladder holds at
+	// most 2·(kmax-kmin+1) entries, and avoiding sort.SliceStable keeps
+	// the reflection-based swapper off the hot path.
+	for i := 1; i < len(raw); i++ {
+		for j := i; j > 0 && stateLess(&raw[j], &raw[j-1]); j-- {
+			raw[j], raw[j-1] = raw[j-1], raw[j]
 		}
-		return raw[i].Scen < raw[j].Scen
-	})
-	// Monotonic per-layer adjustment.
-	prev := make([]float64, na)
+	}
+	// Monotonic per-layer adjustment; the previous entry's adjusted
+	// targets are exactly the running max.
 	for idx := range raw {
 		tot := 0.0
 		for i := 0; i < na; i++ {
-			if raw[idx].Layer[i] < prev[i] {
-				raw[idx].Layer[i] = prev[i]
+			v := raw[idx].Layer[i]
+			if idx > 0 && v < raw[idx-1].Layer[i] {
+				v = raw[idx-1].Layer[i]
+				raw[idx].Layer[i] = v
 			}
-			prev[i] = raw[idx].Layer[i]
-			tot += raw[idx].Layer[i]
+			tot += v
 		}
 		raw[idx].Total = tot
 	}
 	return raw
+}
+
+func stateLess(a, b *State) bool {
+	if a.RawTotal != b.RawTotal {
+		return a.RawTotal < b.RawTotal
+	}
+	return a.Scen < b.Scen
 }
 
 // FillTarget implements the paper's per-packet SendPacket scan (§4.1):

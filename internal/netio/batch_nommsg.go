@@ -1,0 +1,14 @@
+//go:build !(linux && (amd64 || arm64))
+
+package netio
+
+import (
+	"errors"
+	"net"
+)
+
+// errNoMmsg reports that the batched syscall implementation is gated
+// off on this platform; BatchAuto falls back to generic.
+var errNoMmsg = errors.New("netio: mmsg batch I/O unavailable on this platform")
+
+func newMmsgConn(conn *net.UDPConn) (BatchConn, error) { return nil, errNoMmsg }

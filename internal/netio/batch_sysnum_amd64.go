@@ -1,0 +1,11 @@
+//go:build linux
+
+package netio
+
+// Syscall numbers for the batched datagram calls on linux/amd64. The
+// stdlib syscall package predates sendmmsg and never added its number
+// for this arch, so both are pinned here (they are ABI-frozen).
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

@@ -1,0 +1,10 @@
+//go:build linux
+
+package netio
+
+// Syscall numbers for the batched datagram calls on linux/arm64
+// (asm-generic unified numbers, ABI-frozen).
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

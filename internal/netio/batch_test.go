@@ -1,0 +1,182 @@
+package netio
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// availableKinds lists the batch implementations this platform offers.
+func availableKinds(t testing.TB) []BatchKind {
+	t.Helper()
+	kinds := []BatchKind{BatchGeneric}
+	conn := listenUDPTB(t)
+	defer conn.Close()
+	if _, err := newMmsgConn(conn); err == nil {
+		kinds = append(kinds, BatchMmsg)
+	}
+	return kinds
+}
+
+func listenUDPTB(t testing.TB) *net.UDPConn {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	for _, kind := range availableKinds(t) {
+		t.Run(string(kind), func(t *testing.T) {
+			rxConn := listenUDPTB(t)
+			defer rxConn.Close()
+			txConn := listenUDPTB(t)
+			defer txConn.Close()
+			rx, err := NewBatchConn(rxConn, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tx, err := NewBatchConn(txConn, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := rxConn.LocalAddr().(*net.UDPAddr).AddrPort()
+			txAddr := txConn.LocalAddr().(*net.UDPAddr).AddrPort()
+
+			const total = 10
+			out := make([]Message, total)
+			for i := range out {
+				out[i].Buf = []byte(fmt.Sprintf("datagram-%02d", i))
+				out[i].N = len(out[i].Buf)
+				out[i].Addr = dst
+			}
+			if n, err := tx.WriteBatch(out); err != nil || n != total {
+				t.Fatalf("WriteBatch = %d, %v want %d, nil", n, err, total)
+			}
+
+			in := make([]Message, total)
+			for i := range in {
+				in[i].Buf = make([]byte, 64)
+			}
+			got := 0
+			rx.SetReadDeadline(time.Now().Add(2 * time.Second))
+			seen := map[string]bool{}
+			for got < total {
+				n, err := rx.ReadBatch(in[:total-got])
+				if err != nil {
+					t.Fatalf("ReadBatch after %d: %v", got, err)
+				}
+				for i := 0; i < n; i++ {
+					seen[string(in[i].Buf[:in[i].N])] = true
+					want := netip.AddrPortFrom(in[i].Addr.Addr().Unmap(), in[i].Addr.Port())
+					from := netip.AddrPortFrom(txAddr.Addr().Unmap(), txAddr.Port())
+					if want != from {
+						t.Fatalf("peer %v want %v", in[i].Addr, txAddr)
+					}
+				}
+				got += n
+			}
+			for i := 0; i < total; i++ {
+				if !seen[fmt.Sprintf("datagram-%02d", i)] {
+					t.Fatalf("datagram %d never arrived", i)
+				}
+			}
+		})
+	}
+}
+
+func TestBatchReadDeadline(t *testing.T) {
+	for _, kind := range availableKinds(t) {
+		t.Run(string(kind), func(t *testing.T) {
+			conn := listenUDPTB(t)
+			defer conn.Close()
+			bc, err := NewBatchConn(conn, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms := []Message{{Buf: make([]byte, 64)}}
+			bc.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+			start := time.Now()
+			_, err = bc.ReadBatch(ms)
+			if err == nil {
+				t.Fatal("read of silent socket succeeded")
+			}
+			ne, ok := err.(net.Error)
+			if !ok || !ne.Timeout() {
+				t.Fatalf("error %v (%T) is not a net timeout", err, err)
+			}
+			if e := time.Since(start); e > time.Second {
+				t.Fatalf("deadline took %v", e)
+			}
+		})
+	}
+}
+
+func TestBatchMmsgRequestedExplicitly(t *testing.T) {
+	conn := listenUDPTB(t)
+	defer conn.Close()
+	bc, err := NewBatchConn(conn, BatchAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bc.Kind(); got != BatchMmsg && got != BatchGeneric {
+		t.Fatalf("auto resolved to %q", got)
+	}
+	if _, err := NewBatchConn(conn, BatchKind("bogus")); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+// BenchmarkBatchIO is the batched-vs-unbatched A/B: one op moves 32
+// datagrams from a sender socket to a receiver socket on loopback.
+func BenchmarkBatchIO(b *testing.B) {
+	for _, kind := range availableKinds(b) {
+		b.Run(string(kind), func(b *testing.B) {
+			rxConn := listenUDPTB(b)
+			defer rxConn.Close()
+			txConn := listenUDPTB(b)
+			defer txConn.Close()
+			rx, err := NewBatchConn(rxConn, kind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tx, err := NewBatchConn(txConn, kind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst := rxConn.LocalAddr().(*net.UDPAddr).AddrPort()
+			const batch = 32
+			out := make([]Message, batch)
+			for i := range out {
+				out[i].Buf = make([]byte, 512)
+				out[i].N = 512
+				out[i].Addr = dst
+			}
+			in := make([]Message, batch)
+			for i := range in {
+				in[i].Buf = make([]byte, 2048)
+			}
+			rx.SetReadDeadline(time.Time{})
+			b.SetBytes(batch * 512)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tx.WriteBatch(out); err != nil {
+					b.Fatal(err)
+				}
+				got := 0
+				for got < batch {
+					n, err := rx.ReadBatch(in[:batch-got])
+					if err != nil {
+						b.Fatal(err)
+					}
+					got += n
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,489 @@
+package netio
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qav/internal/core"
+	"qav/internal/metrics"
+	"qav/internal/rap"
+)
+
+// MultiConfig parameterizes a multi-client streaming server.
+type MultiConfig struct {
+	// QA configures every stream's quality adaptation controller.
+	QA core.Params
+	// RAP configures every stream's congestion control. PacketSize is
+	// the wire size (header + payload); if zero it defaults to 512.
+	RAP rap.Config
+	// Shards is the number of independent client-table shards, each
+	// owned by one goroutine (default GOMAXPROCS, capped at 8).
+	Shards int
+	// Batch is the number of datagrams moved per batched syscall
+	// (default 32, capped at the platform batch capacity).
+	Batch int
+	// BatchKind selects the I/O implementation (default BatchAuto:
+	// mmsg on Linux, generic elsewhere).
+	BatchKind BatchKind
+	// MaxClients caps concurrent streams; joins beyond it are refused
+	// (default 4096).
+	MaxClients int
+	// MaxStream bounds how long a single stream may run (default 1 hour).
+	MaxStream time.Duration
+	// IdleTimeout expires clients whose acknowledgements stop arriving
+	// (default 10 s).
+	IdleTimeout time.Duration
+	// SeqWindow is the per-client seq->layer attribution ring size,
+	// a power of two (default 1024). Memory per client scales with it.
+	SeqWindow int
+}
+
+func (c *MultiConfig) normalize() error {
+	if c.RAP.PacketSize <= 0 {
+		c.RAP.PacketSize = 512
+	}
+	if c.RAP.PacketSize <= DataHeaderLen {
+		return fmt.Errorf("netio: packet size %d <= header %d", c.RAP.PacketSize, DataHeaderLen)
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.Batch <= 0 {
+		c.Batch = 32
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = 4096
+	}
+	if c.MaxStream <= 0 {
+		c.MaxStream = time.Hour
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 10 * time.Second
+	}
+	if c.SeqWindow <= 0 {
+		c.SeqWindow = 1 << 10
+	}
+	if c.SeqWindow&(c.SeqWindow-1) != 0 {
+		return fmt.Errorf("netio: SeqWindow %d not a power of two", c.SeqWindow)
+	}
+	return nil
+}
+
+// inMsg is one demultiplexed inbound datagram, passed by value through
+// a shard's inbox channel (no per-message allocation).
+type inMsg struct {
+	addr  netip.AddrPort
+	kind  byte
+	ack   Ack    // valid when kind == KindAck
+	durMs uint32 // valid when kind == KindReq
+}
+
+// MultiServer streams layered data to many clients concurrently over
+// one UDP socket. A reader goroutine drains the socket in batches and
+// demultiplexes requests/acknowledgements to per-shard inboxes by
+// client address; each shard goroutine exclusively owns its client
+// table and paces its sessions' data packets out through its own
+// batched writer — there is no mutex anywhere on the packet path, and
+// at steady state the send loop performs zero heap allocations per
+// packet (buffers, batch scratch, and session state are all
+// preallocated; inboxes carry values).
+type MultiServer struct {
+	cfg     MultiConfig
+	conn    *net.UDPConn
+	reader  BatchConn
+	shards  []*shard
+	start   time.Time
+	payload []byte // shared zero payload, read-only
+
+	active atomic.Int64 // live sessions across all shards
+
+	reg       *metrics.Registry
+	accepted  *metrics.Counter
+	rejected  *metrics.Counter
+	expired   *metrics.Counter
+	badPkt    *metrics.Counter
+	inboxDrop *metrics.Counter
+	unknown   *metrics.Counter
+	sent      *metrics.Counter
+	acked     *metrics.Counter
+	batchSz   *metrics.Histogram
+	sessIns   sessionInstruments
+}
+
+// shard owns a disjoint subset of clients, hashed by address. All shard
+// state is touched only by the shard's goroutine.
+type shard struct {
+	srv      *MultiServer
+	inbox    chan inMsg
+	sessions map[netip.AddrPort]*session
+	order    []*session // iteration order; swap-removed on expiry
+	writer   BatchConn
+	msgs     []Message // preallocated write batch (Buf sized to PacketSize)
+}
+
+// NewMultiServer wraps an already-bound UDP socket in a sharded
+// multi-client server. The socket stays caller-owned: close it (or
+// cancel Serve's context) to shut down.
+func NewMultiServer(conn *net.UDPConn, cfg MultiConfig) (*MultiServer, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	// Validate QA params once; per-session construction cannot fail after.
+	if _, err := core.NewController(cfg.QA); err != nil {
+		return nil, err
+	}
+	reader, err := NewBatchConn(conn, cfg.BatchKind)
+	if err != nil {
+		return nil, err
+	}
+	reg := metrics.NewRegistry()
+	s := &MultiServer{
+		cfg:       cfg,
+		conn:      conn,
+		reader:    reader,
+		start:     time.Now(),
+		payload:   make([]byte, cfg.RAP.PacketSize-DataHeaderLen),
+		reg:       reg,
+		accepted:  reg.Counter("srv.accepted"),
+		rejected:  reg.Counter("srv.rejected"),
+		expired:   reg.Counter("srv.expired"),
+		badPkt:    reg.Counter("srv.badpkt"),
+		inboxDrop: reg.Counter("srv.inboxdrop"),
+		unknown:   reg.Counter("srv.unknownack"),
+		sent:      reg.Counter("srv.sent"),
+		acked:     reg.Counter("srv.acked"),
+		batchSz:   reg.Histogram("srv.batchsz", metrics.HistogramOpts{MinExp: 0, MaxExp: 8}),
+	}
+	s.sessIns = sessionInstruments{
+		Retransmits: reg.Counter("srv.retransmits"),
+		NackDrops:   reg.Counter("srv.nackdrops"),
+		Delivered:   reg.Counter("srv.delivered"),
+	}
+	reg.GaugeFunc("srv.clients", func() float64 { return float64(s.active.Load()) })
+	reg.GaugeFunc("srv.shards", func() float64 { return float64(len(s.shards)) })
+	for i := 0; i < cfg.Shards; i++ {
+		writer, err := NewBatchConn(conn, cfg.BatchKind)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{
+			srv:      s,
+			inbox:    make(chan inMsg, 4*cfg.Batch),
+			sessions: make(map[netip.AddrPort]*session),
+			writer:   writer,
+			msgs:     make([]Message, cfg.Batch),
+		}
+		for j := range sh.msgs {
+			sh.msgs[j].Buf = make([]byte, cfg.RAP.PacketSize)
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+// Metrics returns the server's aggregate metrics registry. Snapshots
+// are safe to take concurrently with serving.
+func (s *MultiServer) Metrics() *metrics.Registry { return s.reg }
+
+// WriteMetricsJSON writes the current registry snapshot as indented
+// JSON, expvar-style.
+func (s *MultiServer) WriteMetricsJSON(w io.Writer) error { return s.reg.WriteJSON(w) }
+
+// Addr returns the server's bound address.
+func (s *MultiServer) Addr() string { return s.conn.LocalAddr().String() }
+
+// BatchKind reports the I/O implementation actually in use.
+func (s *MultiServer) BatchKind() BatchKind { return s.reader.Kind() }
+
+// ActiveClients returns the number of live streams.
+func (s *MultiServer) ActiveClients() int { return int(s.active.Load()) }
+
+func (s *MultiServer) now() float64 { return time.Since(s.start).Seconds() }
+
+// MultiStats is a point-in-time aggregate snapshot.
+type MultiStats struct {
+	ActiveClients int
+	Accepted      int64
+	Rejected      int64
+	Expired       int64
+	SentPkts      int64
+	AckedPkts     int64
+	Delivered     int64
+	Retransmits   int64
+	NackDrops     int64
+	BadPackets    int64
+	InboxDrops    int64
+	UnknownAcks   int64
+}
+
+// Stats returns aggregate counters. Safe concurrently with serving.
+func (s *MultiServer) Stats() MultiStats {
+	return MultiStats{
+		ActiveClients: int(s.active.Load()),
+		Accepted:      s.accepted.Load(),
+		Rejected:      s.rejected.Load(),
+		Expired:       s.expired.Load(),
+		SentPkts:      s.sent.Load(),
+		AckedPkts:     s.acked.Load(),
+		Delivered:     s.sessIns.Delivered.Load(),
+		Retransmits:   s.sessIns.Retransmits.Load(),
+		NackDrops:     s.sessIns.NackDrops.Load(),
+		BadPackets:    s.badPkt.Load(),
+		InboxDrops:    s.inboxDrop.Load(),
+		UnknownAcks:   s.unknown.Load(),
+	}
+}
+
+// Serve runs the reader and all shard goroutines until ctx is
+// cancelled or the socket is closed.
+func (s *MultiServer) Serve(ctx context.Context) error {
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.run(ctx)
+		}(sh)
+	}
+	err := s.readLoop(ctx)
+	wg.Wait()
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+// shardOf hashes a client address to its owning shard (FNV-1a over the
+// 16-byte address and port; allocation-free).
+func (s *MultiServer) shardOf(addr netip.AddrPort) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	a16 := addr.Addr().As16()
+	for _, b := range a16 {
+		h = (h ^ uint64(b)) * prime64
+	}
+	p := addr.Port()
+	h = (h ^ uint64(p&0xff)) * prime64
+	h = (h ^ uint64(p>>8)) * prime64
+	return s.shards[h%uint64(len(s.shards))]
+}
+
+// readLoop drains the socket in batches and demultiplexes to shard
+// inboxes. Malformed or foreign datagrams are counted and dropped — a
+// garbage packet must never panic or desync a stream. A full inbox
+// sheds the message rather than blocking the reader, so one client's
+// flood cannot stall ingestion for other shards.
+func (s *MultiServer) readLoop(ctx context.Context) error {
+	ms := make([]Message, s.cfg.Batch)
+	for i := range ms {
+		ms[i].Buf = make([]byte, 2048) // acks and reqs are tens of bytes
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		s.reader.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		n, err := s.reader.ReadBatch(ms)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		for i := 0; i < n; i++ {
+			b := ms[i].Buf[:ms[i].N]
+			k, err := Kind(b)
+			if err != nil {
+				s.badPkt.Inc()
+				continue
+			}
+			var m inMsg
+			m.addr = netip.AddrPortFrom(ms[i].Addr.Addr().Unmap(), ms[i].Addr.Port())
+			m.kind = k
+			switch k {
+			case KindAck:
+				a, err := DecodeAck(b)
+				if err != nil {
+					s.badPkt.Inc()
+					continue
+				}
+				m.ack = a
+			case KindReq:
+				r, err := DecodeReq(b)
+				if err != nil {
+					s.badPkt.Inc()
+					continue
+				}
+				m.durMs = r.DurationMs
+			default:
+				s.badPkt.Inc()
+				continue
+			}
+			sh := s.shardOf(m.addr)
+			select {
+			case sh.inbox <- m:
+			default:
+				s.inboxDrop.Inc()
+			}
+		}
+	}
+}
+
+// inboxBurst bounds how many inbox messages a shard consumes per loop
+// iteration, so an acknowledgement flood from one client cannot starve
+// the send path that every other client on the shard depends on.
+const inboxBurst = 128
+
+// idleSweepSec is the maximum shard sleep, so expiry and new joins are
+// noticed promptly even with nothing to send.
+const idleSweepSec = 0.05
+
+// run is the shard goroutine: drain a bounded burst of inbox messages,
+// pace out every due packet in one batched write, then sleep until the
+// earliest next-send instant (or the next inbox arrival).
+func (sh *shard) run(ctx context.Context) {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		sh.drain()
+		now := sh.srv.now()
+		_, next := sh.pump(now)
+		delay := next - sh.srv.now()
+		if delay <= 0 {
+			continue // more packets already due
+		}
+		if delay > idleSweepSec {
+			delay = idleSweepSec
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(time.Duration(delay * float64(time.Second)))
+		select {
+		case <-ctx.Done():
+			return
+		case m := <-sh.inbox:
+			sh.handle(m, sh.srv.now())
+		case <-timer.C:
+		}
+	}
+}
+
+// drain consumes up to inboxBurst queued messages without blocking.
+func (sh *shard) drain() {
+	for i := 0; i < inboxBurst; i++ {
+		select {
+		case m := <-sh.inbox:
+			sh.handle(m, sh.srv.now())
+		default:
+			return
+		}
+	}
+}
+
+// handle applies one demultiplexed datagram to the shard's table.
+func (sh *shard) handle(m inMsg, now float64) {
+	switch m.kind {
+	case KindReq:
+		st := sh.sessions[m.addr]
+		if st == nil {
+			srv := sh.srv
+			if int(srv.active.Load()) >= srv.cfg.MaxClients {
+				srv.rejected.Inc()
+				return
+			}
+			var err error
+			st, err = newSession(m.addr, srv.cfg.QA, srv.cfg.RAP, srv.payload, srv.cfg.SeqWindow, now)
+			if err != nil {
+				return // unreachable: params validated at construction
+			}
+			st.ins = &srv.sessIns
+			sh.sessions[m.addr] = st
+			sh.order = append(sh.order, st)
+			srv.active.Add(1)
+			srv.accepted.Inc()
+		}
+		dur := float64(m.durMs) / 1e3
+		if max := sh.srv.cfg.MaxStream.Seconds(); dur > max {
+			dur = max
+		}
+		st.deadline = now + dur
+		st.lastRecv = now
+	case KindAck:
+		st := sh.sessions[m.addr]
+		if st == nil {
+			sh.srv.unknown.Inc()
+			return
+		}
+		st.onAck(now, m.ack)
+		sh.srv.acked.Inc()
+	}
+}
+
+// pump expires dead sessions, gathers every due packet into the write
+// batch, and sends it. It returns the number of packets written and
+// the earliest next-send instant among live sessions (+Inf when the
+// shard is empty). Zero heap allocations at steady state.
+func (sh *shard) pump(now float64) (sent int, next float64) {
+	next = math.Inf(1)
+	idle := sh.srv.cfg.IdleTimeout.Seconds()
+	k := 0
+	for i := 0; i < len(sh.order); i++ {
+		st := sh.order[i]
+		if now >= st.deadline || now-st.lastRecv > idle {
+			sh.remove(i, st)
+			i--
+			continue
+		}
+		if st.nextSend <= now && k < len(sh.msgs) {
+			n := st.buildPacket(now, sh.msgs[k].Buf)
+			if n > 0 {
+				sh.msgs[k].N = n
+				sh.msgs[k].Addr = st.addr
+				k++
+			}
+		}
+		if st.nextSend < next {
+			next = st.nextSend
+		}
+	}
+	if k > 0 {
+		sh.writer.WriteBatch(sh.msgs[:k]) // per-datagram kernel errors are not fatal
+		sh.srv.sent.Add(int64(k))
+		sh.srv.batchSz.Observe(float64(k))
+	}
+	return k, next
+}
+
+// remove drops the session at order index i (swap-remove).
+func (sh *shard) remove(i int, st *session) {
+	delete(sh.sessions, st.addr)
+	last := len(sh.order) - 1
+	sh.order[i] = sh.order[last]
+	sh.order[last] = nil
+	sh.order = sh.order[:last]
+	sh.srv.active.Add(-1)
+	sh.srv.expired.Inc()
+}

@@ -1,0 +1,444 @@
+package netio
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"qav/internal/core"
+	"qav/internal/rap"
+)
+
+func testMultiServer(t *testing.T, cfg MultiConfig) *MultiServer {
+	t.Helper()
+	conn := listenUDPTB(t)
+	t.Cleanup(func() { conn.Close() })
+	if cfg.QA.C == 0 {
+		cfg.QA = core.Params{C: 15_000, Kmax: 2, MaxLayers: 6, StartupSec: 0.2}
+	}
+	if cfg.RAP.PacketSize == 0 {
+		cfg.RAP = rap.Config{PacketSize: 512, InitialRTT: 0.02, MaxRate: 30_000}
+	}
+	srv, err := NewMultiServer(conn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.Serve(ctx)
+	}()
+	t.Cleanup(func() { cancel(); wg.Wait() })
+	return srv
+}
+
+// TestMultiServerManyClients runs 32+ concurrent loopback clients with
+// staggered joins and two leave waves while metrics snapshots race the
+// serving path. Per-client isolation: nobody starves, service is fair.
+func TestMultiServerManyClients(t *testing.T) {
+	srv := testMultiServer(t, MultiConfig{Shards: 4})
+
+	// Metrics and stats snapshots concurrent with serving: the race
+	// detector run in CI is the real assertion here.
+	snapDone := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-snapDone:
+				return
+			case <-time.After(50 * time.Millisecond):
+				srv.Metrics().Snapshot()
+				srv.Stats()
+			}
+		}
+	}()
+	defer close(snapDone)
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	results := make([]LoadResult, 2)
+	// Wave 1: 16 clients that leave early. Wave 2: 20 that stay.
+	for w, cfg := range []LoadConfig{
+		{Addr: srv.Addr(), Clients: 16, Dur: 1 * time.Second, Stagger: 300 * time.Millisecond, IdleExit: time.Second},
+		{Addr: srv.Addr(), Clients: 20, Dur: 2500 * time.Millisecond, Stagger: 700 * time.Millisecond, IdleExit: time.Second},
+	} {
+		wg.Add(1)
+		go func(w int, cfg LoadConfig) {
+			defer wg.Done()
+			res, err := RunLoad(ctx, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[w] = res
+		}(w, cfg)
+	}
+	wg.Wait()
+
+	for w, res := range results {
+		if res.Starved > 0 {
+			t.Errorf("wave %d: %d of %d clients starved", w, res.Starved, len(res.PerClient))
+		}
+		if res.Jain < 0.5 {
+			t.Errorf("wave %d: Jain fairness %.3f < 0.5 (min %.0f max %.0f B/s)",
+				w, res.Jain, res.MinGoodput, res.MaxGoodput)
+		}
+	}
+	st := srv.Stats()
+	if st.Accepted != 36 {
+		t.Errorf("accepted %d clients, want 36", st.Accepted)
+	}
+	if st.SentPkts == 0 || st.AckedPkts == 0 {
+		t.Errorf("server sent=%d acked=%d", st.SentPkts, st.AckedPkts)
+	}
+}
+
+// TestMultiServerNackStormIsolation points a misbehaving client at the
+// server — an acknowledgement flood each carrying a retransmission
+// request — while well-behaved clients stream. The storm must be
+// absorbed (bounded nack queue, shed inbox load, congestion-controlled
+// repair) without stalling the other clients.
+func TestMultiServerNackStormIsolation(t *testing.T) {
+	srv := testMultiServer(t, MultiConfig{Shards: 2})
+
+	// The attacker joins first and learns a few sequence numbers.
+	atk, err := net.DialUDP("udp", nil, mustUDPAddr(t, srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer atk.Close()
+	req := make([]byte, ReqLen)
+	n, _ := EncodeReq(req, Req{DurationMs: 4000})
+	atk.Write(req[:n])
+	buf := make([]byte, 2048)
+	var lastSeq int64
+	var got int64
+	for got < 20 {
+		atk.SetReadDeadline(time.Now().Add(2 * time.Second))
+		nr, err := atk.Read(buf)
+		if err != nil {
+			t.Fatalf("attacker warmup read: %v", err)
+		}
+		h, _, err := DecodeData(buf[:nr])
+		if err != nil {
+			continue
+		}
+		lastSeq = h.Seq
+		got++
+		ack := make([]byte, AckLen)
+		na, _ := EncodeAck(ack, Ack{AckSeq: h.Seq, NackLayer: NoNack})
+		atk.Write(ack[:na])
+	}
+
+	// Storm: 30k acks, every one demanding a base-layer retransmission,
+	// over 200 distinct offsets (the pending-request dedup cannot absorb
+	// them all, so the queue bound is exercised).
+	stormDone := make(chan struct{})
+	go func() {
+		defer close(stormDone)
+		ack := make([]byte, AckLen)
+		for i := 0; i < 30_000; i++ {
+			na, _ := EncodeAck(ack, Ack{
+				AckSeq:    lastSeq,
+				NackLayer: 0,
+				NackOff:   int64(i%200) * 512,
+				NackLen:   512,
+			})
+			atk.Write(ack[:na])
+		}
+	}()
+
+	res, err := RunLoad(context.Background(), LoadConfig{
+		Addr:     srv.Addr(),
+		Clients:  8,
+		Dur:      2 * time.Second,
+		Stagger:  200 * time.Millisecond,
+		IdleExit: time.Second,
+	})
+	<-stormDone
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Starved > 0 {
+		t.Fatalf("%d of 8 well-behaved clients starved during the NACK storm", res.Starved)
+	}
+	for i, c := range res.PerClient {
+		if c.Goodput < 2000 {
+			t.Errorf("client %d goodput %.0f B/s: stalled by another client's storm", i, c.Goodput)
+		}
+	}
+	st := srv.Stats()
+	if st.NackDrops+st.InboxDrops+st.Retransmits == 0 {
+		t.Errorf("storm left no trace: nack drops %d, inbox drops %d, retransmits %d",
+			st.NackDrops, st.InboxDrops, st.Retransmits)
+	}
+	t.Logf("storm absorbed: nackdrops=%d inboxdrops=%d retransmits=%d jain=%.3f",
+		st.NackDrops, st.InboxDrops, st.Retransmits, res.Jain)
+}
+
+// TestMultiServerMalformedDatagrams sprays garbage at the serving
+// socket while clients stream: truncated headers, bad magic, wrong
+// versions, random noise, and data-kind packets. Nothing may panic, and
+// the streams must complete.
+func TestMultiServerMalformedDatagrams(t *testing.T) {
+	srv := testMultiServer(t, MultiConfig{Shards: 2})
+
+	noiseDone := make(chan struct{})
+	go func() {
+		defer close(noiseDone)
+		conn, err := net.DialUDP("udp", nil, mustUDPAddr(t, srv.Addr()))
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		rng := rand.New(rand.NewSource(42))
+		valid := make([]byte, AckLen)
+		EncodeAck(valid, Ack{AckSeq: 1, NackLayer: NoNack})
+		data := make([]byte, DataHeaderLen+32)
+		EncodeData(data, DataHeader{Seq: 9, Layer: 1}, make([]byte, 32))
+		for i := 0; i < 4000; i++ {
+			switch i % 5 {
+			case 0: // pure noise
+				junk := make([]byte, rng.Intn(64))
+				rng.Read(junk)
+				conn.Write(junk)
+			case 1: // valid header, truncated body
+				conn.Write(valid[:4+rng.Intn(AckLen-4)])
+			case 2: // bad magic
+				bad := append([]byte(nil), valid...)
+				bad[0] ^= 0xFF
+				conn.Write(bad)
+			case 3: // wrong version
+				bad := append([]byte(nil), valid...)
+				bad[2] = 99
+				conn.Write(bad)
+			case 4: // data packet sent at the server (wrong direction)
+				conn.Write(data)
+			}
+		}
+	}()
+
+	res, err := RunLoad(context.Background(), LoadConfig{
+		Addr:     srv.Addr(),
+		Clients:  2,
+		Dur:      1500 * time.Millisecond,
+		Stagger:  100 * time.Millisecond,
+		IdleExit: time.Second,
+	})
+	<-noiseDone
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Starved > 0 {
+		t.Fatalf("garbage datagrams stalled %d streams", res.Starved)
+	}
+	if st := srv.Stats(); st.BadPackets == 0 {
+		t.Errorf("no malformed datagrams counted; noise not exercised (stats %+v)", st)
+	}
+}
+
+// TestMultiServerAdmissionCap verifies MaxClients: joins beyond the cap
+// are refused while the capacity is occupied.
+func TestMultiServerAdmissionCap(t *testing.T) {
+	srv := testMultiServer(t, MultiConfig{Shards: 2, MaxClients: 4})
+	req := make([]byte, ReqLen)
+	n, _ := EncodeReq(req, Req{DurationMs: 60_000})
+	conns := make([]*net.UDPConn, 8)
+	for i := range conns {
+		c, err := net.DialUDP("udp", nil, mustUDPAddr(t, srv.Addr()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+	// Re-send joins until the cap is provably full and at least one
+	// refusal has been counted (requests may be shed under load).
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, c := range conns {
+			c.Write(req[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+		st := srv.Stats()
+		if st.Accepted == 4 && st.Rejected > 0 {
+			break
+		}
+	}
+	st := srv.Stats()
+	if st.Accepted != 4 {
+		t.Fatalf("accepted %d clients, want exactly the cap 4 (stats %+v)", st.Accepted, st)
+	}
+	if st.Rejected == 0 {
+		t.Fatal("no join was ever refused at the cap")
+	}
+	if got := srv.ActiveClients(); got != 4 {
+		t.Fatalf("active clients %d, want 4", got)
+	}
+}
+
+// TestMultiServerIdleExpiry checks that a client that vanishes without
+// acking is swept from the table long before its requested stream ends.
+func TestMultiServerIdleExpiry(t *testing.T) {
+	srv := testMultiServer(t, MultiConfig{Shards: 1, IdleTimeout: 300 * time.Millisecond})
+	conn, err := net.DialUDP("udp", nil, mustUDPAddr(t, srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := make([]byte, ReqLen)
+	n, _ := EncodeReq(req, Req{DurationMs: 60_000})
+	conn.Write(req[:n])
+	deadline := time.Now().Add(2 * time.Second)
+	joined := false
+	for time.Now().Before(deadline) {
+		if srv.ActiveClients() == 1 {
+			joined = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !joined {
+		t.Fatal("client never joined")
+	}
+	// Never ack: the session must idle out well before its 60 s stream.
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.ActiveClients() == 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("silent client still active after idle timeout (stats %+v)", srv.Stats())
+}
+
+// TestAllocFreeServeSendLoop is the serving-path tentpole invariant:
+// once a session reaches steady state, pumping packets through the
+// shard — layer pick, RAP accounting, encode, batched write — and
+// feeding the acknowledgements back allocates nothing.
+func TestAllocFreeServeSendLoop(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race")
+	}
+	for _, kind := range availableKinds(t) {
+		t.Run(string(kind), func(t *testing.T) {
+			conn := listenUDPTB(t)
+			defer conn.Close()
+			srv, err := NewMultiServer(conn, MultiConfig{
+				QA:        core.Params{C: 15_000, Kmax: 2, MaxLayers: 2, StartupSec: 0.1},
+				RAP:       rap.Config{PacketSize: 512, InitialRTT: 0.02, MaxRate: 40_000},
+				Shards:    1,
+				BatchKind: kind,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A real destination socket; its receive buffer overflowing
+			// just drops datagrams, which is fine — nobody reads it.
+			sink := listenUDPTB(t)
+			defer sink.Close()
+			sinkAddr := sink.LocalAddr().(*net.UDPAddr).AddrPort()
+
+			sh := srv.shards[0]
+			now := 0.0
+			sh.handle(inMsg{addr: sinkAddr, kind: KindReq, durMs: 3_600_000}, now)
+			if len(sh.order) != 1 {
+				t.Fatal("session not created")
+			}
+			sess := sh.order[0]
+
+			ackAll := func(now float64) {
+				// Acknowledge everything outstanding (in order) so RAP and
+				// the controller reach — and stay in — steady state.
+				for seq := sess.snd.Acked + sess.snd.Lost; seq < sess.snd.Sent; seq++ {
+					sh.handle(inMsg{addr: sinkAddr, kind: KindAck, ack: Ack{AckSeq: seq, NackLayer: NoNack}}, now)
+				}
+			}
+			pumpSlice := func() {
+				for i := 0; i < 50; i++ {
+					now += 0.02
+					sh.pump(now)
+					ackAll(now)
+				}
+			}
+			// Warm up: rate converges to MaxRate, layers fill, pools and
+			// map capacity stabilize, controller events quiesce.
+			for i := 0; i < 20; i++ {
+				pumpSlice()
+			}
+			sentBefore := sess.snd.Sent
+			allocs := testing.AllocsPerRun(20, pumpSlice)
+			if allocs != 0 {
+				t.Fatalf("steady-state serve send loop (%s): %.1f allocs per 1s slice, want 0", kind, allocs)
+			}
+			if sess.snd.Sent == sentBefore {
+				t.Fatal("measured window sent nothing")
+			}
+		})
+	}
+}
+
+// TestMultiServerMemoryBoundedUnderLoad streams to a client that acks
+// only half the packets (the old seqLayer map leaked every unacked
+// entry forever) and pins the steady heap.
+func TestMultiServerMemoryBoundedUnderLoad(t *testing.T) {
+	if raceEnabled {
+		t.Skip("heap accounting is unstable under race instrumentation")
+	}
+	conn := listenUDPTB(t)
+	defer conn.Close()
+	srv, err := NewMultiServer(conn, MultiConfig{
+		QA:        core.Params{C: 15_000, Kmax: 2, MaxLayers: 2, StartupSec: 0.1},
+		RAP:       rap.Config{PacketSize: 512, InitialRTT: 0.02, MaxRate: 40_000},
+		Shards:    1,
+		SeqWindow: 1 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := listenUDPTB(t)
+	defer sink.Close()
+	sinkAddr := sink.LocalAddr().(*net.UDPAddr).AddrPort()
+	sh := srv.shards[0]
+	now := 0.0
+	sh.handle(inMsg{addr: sinkAddr, kind: KindReq, durMs: 3_600_000}, now)
+	sess := sh.order[0]
+
+	run := func(slices int) {
+		for i := 0; i < slices; i++ {
+			now += 0.02
+			sh.pump(now)
+			for seq := sess.snd.Acked + sess.snd.Lost; seq < sess.snd.Sent; seq++ {
+				if seq%2 == 0 {
+					continue // half the stream is never acknowledged
+				}
+				sh.handle(inMsg{addr: sinkAddr, kind: KindAck, ack: Ack{AckSeq: seq, NackLayer: NoNack}}, now)
+			}
+		}
+	}
+	run(2000) // warm up all pools and rings
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	run(20_000) // tens of thousands of packets, half never acknowledged
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if growth := int64(after.HeapAlloc) - int64(before.HeapAlloc); growth > 2<<20 {
+		t.Fatalf("heap grew %.1f MB under sustained half-lost load, want bounded", float64(growth)/1e6)
+	}
+}
+
+func mustUDPAddr(t *testing.T, s string) *net.UDPAddr {
+	t.Helper()
+	a, err := net.ResolveUDPAddr("udp", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package netio
+
+// raceEnabled skips the zero-allocation assertions under the race
+// detector, whose instrumentation allocates on channel and atomic
+// operations that are allocation-free in a normal build.
+const raceEnabled = true

@@ -1,0 +1,98 @@
+package netio
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestSeqRingPutTakeDel(t *testing.T) {
+	r := newSeqRing(16)
+	if _, ok := r.take(0); ok {
+		t.Fatal("empty ring returned an entry")
+	}
+	r.put(3, 2)
+	r.put(5, 0)
+	if l, ok := r.take(3); !ok || l != 2 {
+		t.Fatalf("take(3) = %d,%v want 2,true", l, ok)
+	}
+	if _, ok := r.take(3); ok {
+		t.Fatal("double take succeeded")
+	}
+	r.del(5)
+	if _, ok := r.take(5); ok {
+		t.Fatal("take after del succeeded")
+	}
+	if r.live() != 0 {
+		t.Fatalf("live = %d want 0", r.live())
+	}
+}
+
+func TestSeqRingOverwriteBeyondWindow(t *testing.T) {
+	r := newSeqRing(16)
+	r.put(1, 4) // never acked: simulated leak in the old map design
+	// The window slides 16 sequences; seq 17 lands on 1's slot.
+	r.put(17, 5)
+	if _, ok := r.take(1); ok {
+		t.Fatal("over-aged entry survived the window sliding past it")
+	}
+	if l, ok := r.take(17); !ok || l != 5 {
+		t.Fatalf("take(17) = %d,%v want 5,true", l, ok)
+	}
+}
+
+func TestSeqRingBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two size did not panic")
+		}
+	}()
+	newSeqRing(12)
+}
+
+// TestSeqRingMemoryBounded is the netio analogue of the tcp package's
+// TestTCPMemoryBoundedUnderLoss: a stream where half the packets are
+// never acknowledged (every unacked entry leaked forever in the old
+// map[int64]int) must hold the attribution footprint fixed.
+func TestSeqRingMemoryBounded(t *testing.T) {
+	r := newSeqRing(1 << 10)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for seq := int64(0); seq < 2_000_000; seq++ {
+		r.put(seq, int(seq%8))
+		if seq%2 == 0 {
+			r.take(seq) // acked; odd sequences are "lost" and never cleared
+		}
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if r.live() > 1<<10 {
+		t.Fatalf("live entries %d exceed ring size", r.live())
+	}
+	if growth := int64(after.HeapAlloc) - int64(before.HeapAlloc); growth > 1<<20 {
+		t.Fatalf("heap grew %d bytes over 2M half-lost packets, want ~0 (old map design leaked ~50 MB)", growth)
+	}
+}
+
+func TestNackRingDropOldest(t *testing.T) {
+	var q nackRing
+	for i := 0; i < nackCap+10; i++ {
+		q.push(nack{layer: 0, off: int64(i) * 512, n: 512})
+	}
+	if q.n != nackCap {
+		t.Fatalf("queue length %d want %d", q.n, nackCap)
+	}
+	if q.dropped != 10 {
+		t.Fatalf("dropped %d want 10", q.dropped)
+	}
+	// The oldest 10 were shed: the head must now be entry 10.
+	if nk := q.pop(); nk.off != 10*512 {
+		t.Fatalf("head off %d want %d (drop-oldest)", nk.off, 10*512)
+	}
+	if !q.queued(0, 11*512) {
+		t.Fatal("queued() lost a surviving entry")
+	}
+	if q.queued(0, 3*512) {
+		t.Fatal("queued() found a shed entry")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
 
@@ -38,37 +39,27 @@ type ServerStats struct {
 	// controller's MaxLayers, so any layer count works.
 	SentByLayer []int64
 	Retransmits int64
+	NackDrops   int64
 	Events      []core.Event
 }
 
 // Server streams layered data over UDP to one client at a time, pacing
 // packets at the RAP rate and assigning each packet to a layer via the
-// quality adaptation controller.
+// quality adaptation controller. It is the original single-client
+// endpoint, kept for the paper's one-flow Internet experiments and as
+// the behavioral reference for MultiServer, which serves many clients
+// concurrently over the same session core.
 type Server struct {
 	cfg  ServerConfig
 	conn *net.UDPConn
 
-	mu          sync.Mutex
-	snd         *rap.Sender
-	ctrl        *core.Controller
-	start       time.Time
-	seqLayer    map[int64]int
-	payload     []byte
-	sentByLayer []int64 // packets per layer, MaxLayers long
-	layerOff    []int64 // next byte offset per layer's stream, MaxLayers long
-	nackQueue   []nack  // pending selective retransmissions
-	Retransmits int64
+	mu    sync.Mutex
+	sess  *session
+	start time.Time
 
 	// reg is the per-stream metrics registry; snapshot functions lock
 	// s.mu, so it is safe to snapshot concurrently with streaming.
 	reg *metrics.Registry
-}
-
-// nack is a pending retransmission request.
-type nack struct {
-	layer int
-	off   int64
-	n     int
 }
 
 // NewServer wraps an already-bound UDP socket.
@@ -82,24 +73,19 @@ func NewServer(conn *net.UDPConn, cfg ServerConfig) (*Server, error) {
 	if cfg.MaxStream <= 0 {
 		cfg.MaxStream = time.Hour
 	}
-	ctrl, err := core.NewController(cfg.QA)
+	payload := make([]byte, cfg.RAP.PacketSize-DataHeaderLen)
+	sess, err := newSession(netip.AddrPort{}, cfg.QA, cfg.RAP, payload, seqWindow, 0)
 	if err != nil {
 		return nil, err
 	}
-	maxL := ctrl.P.MaxLayers // post-default value
 	s := &Server{
-		cfg:         cfg,
-		conn:        conn,
-		snd:         rap.NewSender(cfg.RAP),
-		ctrl:        ctrl,
-		start:       time.Now(),
-		seqLayer:    make(map[int64]int),
-		payload:     make([]byte, cfg.RAP.PacketSize-DataHeaderLen),
-		sentByLayer: make([]int64, maxL),
-		layerOff:    make([]int64, maxL),
-		reg:         metrics.NewRegistry(),
+		cfg:   cfg,
+		conn:  conn,
+		sess:  sess,
+		start: time.Now(),
+		reg:   metrics.NewRegistry(),
 	}
-	s.snd.SetInstruments(rap.NewInstruments(s.reg, "rap"))
+	s.sess.snd.SetInstruments(rap.NewInstruments(s.reg, "rap"))
 	locked := func(read func() int64) func() int64 {
 		return func() int64 {
 			s.mu.Lock()
@@ -107,33 +93,34 @@ func NewServer(conn *net.UDPConn, cfg ServerConfig) (*Server, error) {
 			return read()
 		}
 	}
-	s.reg.CounterFunc("netio.sent", locked(func() int64 { return s.snd.Sent }))
-	s.reg.CounterFunc("netio.acked", locked(func() int64 { return s.snd.Acked }))
-	s.reg.CounterFunc("netio.lost", locked(func() int64 { return s.snd.Lost }))
-	s.reg.CounterFunc("netio.retransmits", locked(func() int64 { return s.Retransmits }))
+	s.reg.CounterFunc("netio.sent", locked(func() int64 { return s.sess.snd.Sent }))
+	s.reg.CounterFunc("netio.acked", locked(func() int64 { return s.sess.snd.Acked }))
+	s.reg.CounterFunc("netio.lost", locked(func() int64 { return s.sess.snd.Lost }))
+	s.reg.CounterFunc("netio.retransmits", locked(func() int64 { return s.sess.retransmits }))
+	s.reg.CounterFunc("netio.nackdrops", locked(func() int64 { return s.sess.nacks.dropped }))
 	s.reg.GaugeFunc("netio.rate", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return s.snd.Rate()
+		return s.sess.snd.Rate()
 	})
 	s.reg.GaugeFunc("netio.srtt", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return s.snd.SRTT()
+		return s.sess.snd.SRTT()
 	})
 	s.reg.GaugeFunc("qa.layers", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return float64(s.ctrl.ActiveLayers())
+		return float64(s.sess.ctrl.ActiveLayers())
 	})
 	s.reg.GaugeFunc("qa.buftotal", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return s.ctrl.TotalBuf()
+		return s.sess.ctrl.TotalBuf()
 	})
-	for l := 0; l < maxL; l++ {
+	for l := 0; l < len(sess.sentByLayer); l++ {
 		l := l
-		s.reg.CounterFunc(fmt.Sprintf("netio.sent.l%d", l), locked(func() int64 { return s.sentByLayer[l] }))
+		s.reg.CounterFunc(fmt.Sprintf("netio.sent.l%d", l), locked(func() int64 { return s.sess.sentByLayer[l] }))
 	}
 	return s, nil
 }
@@ -155,20 +142,21 @@ func (s *Server) now() float64 { return time.Since(s.start).Seconds() }
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ev := make([]core.Event, len(s.ctrl.Events))
-	copy(ev, s.ctrl.Events)
-	byLayer := make([]int64, len(s.sentByLayer))
-	copy(byLayer, s.sentByLayer)
+	ev := make([]core.Event, len(s.sess.ctrl.Events))
+	copy(ev, s.sess.ctrl.Events)
+	byLayer := make([]int64, len(s.sess.sentByLayer))
+	copy(byLayer, s.sess.sentByLayer)
 	return ServerStats{
-		Rate:         s.snd.Rate(),
-		SRTT:         s.snd.SRTT(),
-		ActiveLayers: s.ctrl.ActiveLayers(),
-		Buffers:      s.ctrl.Buffers(),
-		SentPkts:     s.snd.Sent,
-		AckedPkts:    s.snd.Acked,
-		Backoffs:     s.snd.Backoffs,
+		Rate:         s.sess.snd.Rate(),
+		SRTT:         s.sess.snd.SRTT(),
+		ActiveLayers: s.sess.ctrl.ActiveLayers(),
+		Buffers:      s.sess.ctrl.Buffers(),
+		SentPkts:     s.sess.snd.Sent,
+		AckedPkts:    s.sess.snd.Acked,
+		Backoffs:     s.sess.snd.Backoffs,
 		SentByLayer:  byLayer,
-		Retransmits:  s.Retransmits,
+		Retransmits:  s.sess.retransmits,
+		NackDrops:    s.sess.nacks.dropped,
 		Events:       ev,
 	}
 }
@@ -231,64 +219,22 @@ func (s *Server) stream(ctx context.Context, client *net.UDPAddr, dur time.Durat
 	}()
 
 	buf := make([]byte, s.cfg.RAP.PacketSize)
-	lastStep := s.now()
 	for time.Now().Before(deadline) {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		s.mu.Lock()
 		now := s.now()
-		if now-lastStep >= s.snd.StepInterval() {
-			if b := s.snd.Step(now); b != nil {
-				s.ctrl.OnBackoff(now, b.NewRate, s.snd.ConservativeSlope())
-				s.forget(b.LostSeqs)
-			}
-			lastStep = now
-		}
-		var layer int
-		var off int64
-		retrans := false
-		// Selective retransmission (§1.3): when the rate exceeds the
-		// consumption rate, spend the next slot repairing the oldest
-		// requested hole instead of sending new data. Retransmissions
-		// remain congestion controlled (they consume a send slot).
-		if len(s.nackQueue) > 0 && s.snd.Rate() >= s.ctrl.ConsumptionRate() {
-			nk := s.nackQueue[0]
-			s.nackQueue = s.nackQueue[1:]
-			layer, off, retrans = nk.layer, nk.off, true
-			s.Retransmits++
-			s.ctrl.Tick(now, s.snd.Rate(), s.snd.ConservativeSlope())
-		} else {
-			layer = s.ctrl.PickLayer(now, s.snd.Rate(), s.snd.ConservativeSlope(), s.cfg.RAP.PacketSize)
-			off = s.layerOff[layer]
-			s.layerOff[layer] += int64(s.cfg.RAP.PacketSize)
-		}
-		seq := s.snd.OnSend(now)
-		if !retrans {
-			// Retransmitted bytes sit behind the playout point; they
-			// repair holes but do not extend the receiver's buffer, so
-			// they are not credited to the controller on ACK.
-			s.seqLayer[seq] = layer
-		}
-		if layer >= 0 && layer < len(s.sentByLayer) {
-			s.sentByLayer[layer]++
-		}
-		ipg := s.snd.IPG()
+		n := s.sess.buildPacket(now, buf)
+		sleep := s.sess.nextSend - now
 		s.mu.Unlock()
-
-		n, err := EncodeData(buf, DataHeader{
-			Seq:        seq,
-			Layer:      uint8(layer),
-			LayerOff:   off,
-			SendMicros: uint64(now * 1e6),
-		}, s.payload)
-		if err != nil {
-			return err
+		if n == 0 {
+			return fmt.Errorf("netio: packet encode failed")
 		}
 		if _, err := s.conn.WriteToUDP(buf[:n], client); err != nil {
 			return fmt.Errorf("netio: send: %w", err)
 		}
-		sleepCtx(ctx, time.Duration(ipg*float64(time.Second)))
+		sleepCtx(ctx, time.Duration(sleep*float64(time.Second)))
 	}
 	return nil
 }
@@ -317,43 +263,8 @@ func (s *Server) ackLoop(stop <-chan struct{}) {
 			continue
 		}
 		s.mu.Lock()
-		now := s.now()
-		if b := s.snd.OnAck(now, a.AckSeq); b != nil {
-			s.ctrl.OnBackoff(now, b.NewRate, s.snd.ConservativeSlope())
-			s.forget(b.LostSeqs)
-		}
-		if layer, ok := s.seqLayer[a.AckSeq]; ok {
-			delete(s.seqLayer, a.AckSeq)
-			s.ctrl.OnDelivered(now, layer, s.cfg.RAP.PacketSize)
-		}
-		if a.NackLayer != NoNack && int(a.NackLayer) < len(s.layerOff) && len(s.nackQueue) < 64 {
-			// Quantize the request to packet-aligned offsets and bound
-			// it to one packet per queue entry.
-			pkt := int64(s.cfg.RAP.PacketSize)
-			off := a.NackOff - a.NackOff%pkt
-			if off >= 0 && off < s.layerOff[a.NackLayer] && !s.nackQueued(int(a.NackLayer), off) {
-				s.nackQueue = append(s.nackQueue, nack{layer: int(a.NackLayer), off: off, n: int(pkt)})
-			}
-		}
+		s.sess.onAck(s.now(), a)
 		s.mu.Unlock()
-	}
-}
-
-// nackQueued reports whether a retransmission for (layer, off) is
-// already pending. Callers hold s.mu.
-func (s *Server) nackQueued(layer int, off int64) bool {
-	for _, nk := range s.nackQueue {
-		if nk.layer == layer && nk.off == off {
-			return true
-		}
-	}
-	return false
-}
-
-// forget drops layer attribution for lost packets. Callers hold s.mu.
-func (s *Server) forget(seqs []int64) {
-	for _, q := range seqs {
-		delete(s.seqLayer, q)
 	}
 }
 

@@ -1,0 +1,224 @@
+package netio
+
+import (
+	"net/netip"
+
+	"qav/internal/core"
+	"qav/internal/metrics"
+	"qav/internal/rap"
+)
+
+// nack is a pending retransmission request.
+type nack struct {
+	layer int
+	off   int64
+	n     int
+}
+
+// nackCap bounds pending retransmissions per client. A misbehaving
+// receiver can request holes faster than the congestion-controlled
+// sender can repair them; beyond the cap the oldest request is dropped
+// (the receiver will re-request it if it still matters) and a counter
+// records the shed load.
+const nackCap = 64
+
+// nackRing is a fixed-capacity drop-oldest queue of retransmission
+// requests.
+type nackRing struct {
+	buf     [nackCap]nack
+	head, n int
+	dropped int64
+}
+
+func (q *nackRing) push(nk nack) {
+	if q.n == len(q.buf) {
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+		q.dropped++
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = nk
+	q.n++
+}
+
+func (q *nackRing) pop() nack {
+	nk := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return nk
+}
+
+// queued reports whether a request for (layer, off) is already pending.
+func (q *nackRing) queued(layer int, off int64) bool {
+	for i := 0; i < q.n; i++ {
+		nk := &q.buf[(q.head+i)%len(q.buf)]
+		if nk.layer == layer && nk.off == off {
+			return true
+		}
+	}
+	return false
+}
+
+// sessionInstruments are the shared (per-server, not per-session)
+// metric handles a session records through. Nil handles are skipped, so
+// a partially-instrumented session is fine.
+type sessionInstruments struct {
+	Retransmits *metrics.Counter // selective retransmissions sent
+	NackDrops   *metrics.Counter // retransmission requests shed at the cap
+	Delivered   *metrics.Counter // acked packets credited to the controller
+}
+
+// session is the per-client stream state: one RAP sender, one quality
+// adaptation controller, the seq -> layer attribution ring, per-layer
+// stream offsets, and the bounded retransmission queue. It is not
+// goroutine-safe — its owner (the legacy single-client Server under its
+// mutex, or a MultiServer shard from its one goroutine) serializes all
+// access. All times are float64 seconds on the owner's clock.
+type session struct {
+	snd  *rap.Sender
+	ctrl *core.Controller
+	addr netip.AddrPort
+
+	pktSize     int
+	payload     []byte // shared zero payload, read-only
+	seqLayer    seqRing
+	layerOff    []int64 // next byte offset per layer's stream
+	sentByLayer []int64 // packets per layer
+	nacks       nackRing
+	retransmits int64
+
+	ins *sessionInstruments
+
+	lastStep float64 // last RAP Step invocation
+	nextSend float64 // next paced transmission instant
+	lastRecv float64 // last ack/req arrival, for idle expiry
+	deadline float64 // stream end
+}
+
+// newSession builds a stream for addr. qa must already be validated
+// (core.NewController errors only on bad Params; callers validate once
+// at server construction) and payload must be pktSize-DataHeaderLen
+// bytes.
+func newSession(addr netip.AddrPort, qa core.Params, rcfg rap.Config, payload []byte, seqWin int, now float64) (*session, error) {
+	if qa.MaxEvents == 0 {
+		// A served stream can run for hours; a client whose rate
+		// straddles a layer boundary churns add/drop events forever, so
+		// the decision log must not grow without bound.
+		qa.MaxEvents = 4096
+	}
+	ctrl, err := core.NewController(qa)
+	if err != nil {
+		return nil, err
+	}
+	maxL := ctrl.P.MaxLayers
+	snd := rap.NewSender(rcfg)
+	return &session{
+		snd:         snd,
+		ctrl:        ctrl,
+		addr:        addr,
+		pktSize:     rcfg.PacketSize,
+		payload:     payload,
+		seqLayer:    newSeqRing(seqWin),
+		layerOff:    make([]int64, maxL),
+		sentByLayer: make([]int64, maxL),
+		lastStep:    now,
+		nextSend:    now,
+		lastRecv:    now,
+	}, nil
+}
+
+// step runs the periodic (once per SRTT) RAP rate decision if due.
+func (st *session) step(now float64) {
+	if now-st.lastStep < st.snd.StepInterval() {
+		return
+	}
+	if b := st.snd.Step(now); b != nil {
+		st.ctrl.OnBackoff(now, b.NewRate, st.snd.ConservativeSlope())
+		st.forget(b.LostSeqs)
+	}
+	st.lastStep = now
+}
+
+// buildPacket assembles the next paced data packet into buf (which must
+// hold pktSize bytes) and returns its wire length. It advances the
+// stream: RAP step if due, layer selection or selective retransmission,
+// sequence assignment, and the next-send instant. Zero-alloc.
+func (st *session) buildPacket(now float64, buf []byte) int {
+	st.step(now)
+	var layer int
+	var off int64
+	retrans := false
+	// Selective retransmission (§1.3): when the rate exceeds the
+	// consumption rate, spend the next slot repairing the oldest
+	// requested hole instead of sending new data. Retransmissions
+	// remain congestion controlled (they consume a send slot).
+	if st.nacks.n > 0 && st.snd.Rate() >= st.ctrl.ConsumptionRate() {
+		nk := st.nacks.pop()
+		layer, off, retrans = nk.layer, nk.off, true
+		st.retransmits++
+		if st.ins != nil && st.ins.Retransmits != nil {
+			st.ins.Retransmits.Inc()
+		}
+		st.ctrl.Tick(now, st.snd.Rate(), st.snd.ConservativeSlope())
+	} else {
+		layer = st.ctrl.PickLayer(now, st.snd.Rate(), st.snd.ConservativeSlope(), st.pktSize)
+		off = st.layerOff[layer]
+		st.layerOff[layer] += int64(st.pktSize)
+	}
+	seq := st.snd.OnSend(now)
+	if !retrans {
+		// Retransmitted bytes sit behind the playout point; they repair
+		// holes but do not extend the receiver's buffer, so they are not
+		// credited to the controller on ACK.
+		st.seqLayer.put(seq, layer)
+	}
+	if layer >= 0 && layer < len(st.sentByLayer) {
+		st.sentByLayer[layer]++
+	}
+	st.nextSend = now + st.snd.IPG()
+	n, err := EncodeData(buf, DataHeader{
+		Seq:        seq,
+		Layer:      uint8(layer),
+		LayerOff:   off,
+		SendMicros: uint64(now * 1e6),
+	}, st.payload)
+	if err != nil {
+		return 0 // unreachable: buf is sized to pktSize at construction
+	}
+	return n
+}
+
+// onAck feeds one acknowledgement through RAP and the controller, and
+// queues any piggybacked retransmission request.
+func (st *session) onAck(now float64, a Ack) {
+	st.lastRecv = now
+	if b := st.snd.OnAck(now, a.AckSeq); b != nil {
+		st.ctrl.OnBackoff(now, b.NewRate, st.snd.ConservativeSlope())
+		st.forget(b.LostSeqs)
+	}
+	if layer, ok := st.seqLayer.take(a.AckSeq); ok {
+		st.ctrl.OnDelivered(now, layer, st.pktSize)
+		if st.ins != nil && st.ins.Delivered != nil {
+			st.ins.Delivered.Inc()
+		}
+	}
+	if a.NackLayer != NoNack && int(a.NackLayer) < len(st.layerOff) {
+		// Quantize the request to packet-aligned offsets and bound it
+		// to one packet per queue entry.
+		pkt := int64(st.pktSize)
+		off := a.NackOff - a.NackOff%pkt
+		if off >= 0 && off < st.layerOff[a.NackLayer] && !st.nacks.queued(int(a.NackLayer), off) {
+			before := st.nacks.dropped
+			st.nacks.push(nack{layer: int(a.NackLayer), off: off, n: int(pkt)})
+			if st.nacks.dropped != before && st.ins != nil && st.ins.NackDrops != nil {
+				st.ins.NackDrops.Inc()
+			}
+		}
+	}
+}
+
+// forget drops layer attribution for lost packets.
+func (st *session) forget(seqs []int64) {
+	for _, q := range seqs {
+		st.seqLayer.del(q)
+	}
+}

@@ -54,7 +54,10 @@ func (c *Config) setDefaults() {
 	}
 }
 
-// Backoff describes one multiplicative decrease event.
+// Backoff describes one multiplicative decrease event. LostSeqs aliases
+// a scratch buffer the sender reuses: it is valid until the next OnAck
+// or Step call, so a consumer that retains it across further events
+// must copy it first (every consumer in this repo reacts immediately).
 type Backoff struct {
 	Time     float64
 	OldRate  float64
@@ -90,6 +93,11 @@ type Sender struct {
 	// on uninstrumented senders: the record sites are branch-guarded.
 	ins       *Instruments
 	lastAckAt float64
+
+	// lostBuf backs Backoff.LostSeqs across loss events; a long-lived
+	// sender detecting losses every congestion cycle must not allocate
+	// a fresh slice per event.
+	lostBuf []int64
 
 	// Counters for inspection and tests.
 	Sent      int64
@@ -194,7 +202,7 @@ func (s *Sender) OnAck(now float64, seq int64) *Backoff {
 	// ACK-based loss detection: any packet still outstanding whose
 	// sequence trails the highest ACK by more than the reorder gap is
 	// considered lost.
-	var lost []int64
+	lost := s.lostBuf[:0]
 	for o := range s.outstanding {
 		if o <= s.highestAck-s.cfg.ReorderGap {
 			lost = append(lost, o)
@@ -202,6 +210,7 @@ func (s *Sender) OnAck(now float64, seq int64) *Backoff {
 			s.Lost++
 		}
 	}
+	s.lostBuf = lost
 	if len(lost) == 0 {
 		return nil
 	}
@@ -213,7 +222,7 @@ func (s *Sender) OnAck(now float64, seq int64) *Backoff {
 // returns the backoff performed, if any.
 func (s *Sender) Step(now float64) *Backoff {
 	// Timeout-based loss detection.
-	var lost []int64
+	lost := s.lostBuf[:0]
 	for o, st := range s.outstanding {
 		if now-st > s.timeout {
 			lost = append(lost, o)
@@ -221,6 +230,7 @@ func (s *Sender) Step(now float64) *Backoff {
 			s.Lost++
 		}
 	}
+	s.lostBuf = lost
 	if len(lost) > 0 {
 		s.TimeoutEv++
 		if s.ins != nil {

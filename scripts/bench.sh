@@ -11,7 +11,15 @@
 # metrics snapshot: engine, queue-delay quantiles, transports, QA), so
 # behavioural drift diffs alongside the perf numbers. Pass -quick to
 # skip the long TablesSweep, 1000-flow, and 10000-flow Fleet runs; any
-# arguments are forwarded to qabench.
+# arguments are forwarded to qabench (the qaload leg takes no extra
+# arguments).
+#
+# After the simulation benchmarks, runs the serving-path soak: qaload
+# drives 1000 concurrent loopback clients against an in-process
+# MultiServer (batched-vs-generic I/O A/B included) and archives
+# BENCH_SERVE.json — goodput, Jain fairness, allocs/packet, and heap
+# stability, asserted by -soak.
 set -eu
 cd "$(dirname "$0")/.."
-exec go run ./cmd/qabench -out BENCH_PR8.json -report BENCH_REPORT.json "$@"
+go run ./cmd/qabench -out BENCH_PR8.json -report BENCH_REPORT.json "$@"
+go run ./cmd/qaload -clients 1000 -dur 10s -ab -soak -out BENCH_SERVE.json
