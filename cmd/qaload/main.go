@@ -11,7 +11,9 @@
 // Examples:
 //
 //	qaload -clients 1000 -dur 10s -soak -out BENCH_SERVE.json
-//	qaload -clients 64 -dur 8s -batch generic   # unbatched A/B leg
+//	qaload -clients 64 -dur 8s -batch generic      # unbatched A/B leg
+//	qaload -clients 64 -dur 8s -pacer scan         # scan-pump A/B leg
+//	qaload -clients 64 -dur 8s -sockets demux      # shared-socket mode
 //	qaload -clients 256 -dur 6s -check BENCH_SERVE.json
 package main
 
@@ -39,6 +41,8 @@ type serveBench struct {
 	GoArch    string  `json:"goarch"`
 	CPUs      int     `json:"cpus"`
 	BatchKind string  `json:"batch_kind"`
+	Pacer     string  `json:"pacer,omitempty"`
+	Sockets   string  `json:"sockets,omitempty"`
 	Shards    int     `json:"shards"`
 	Clients   int     `json:"clients"`
 	DurSec    float64 `json:"dur_sec"`
@@ -54,15 +58,36 @@ type serveBench struct {
 	HeapStartBytes uint64  `json:"heap_start_bytes"`
 	HeapEndBytes   uint64  `json:"heap_end_bytes"`
 
-	SrvSent      int64 `json:"srv_sent"`
-	SrvAcked     int64 `json:"srv_acked"`
-	SrvBadPkts   int64 `json:"srv_bad_pkts"`
-	SrvNackDrops int64 `json:"srv_nack_drops"`
-	SrvInboxDrop int64 `json:"srv_inbox_drops"`
+	SrvSent       int64   `json:"srv_sent"`
+	SrvAcked      int64   `json:"srv_acked"`
+	SrvBadPkts    int64   `json:"srv_bad_pkts"`
+	SrvNackDrops  int64   `json:"srv_nack_drops"`
+	SrvInboxDrop  int64   `json:"srv_inbox_drops"`
+	SrvShardSheds []int64 `json:"srv_shard_sheds,omitempty"`
 
-	// AB holds the unbatched-fallback leg when -ab is set, for the
-	// batched-vs-generic comparison.
-	AB *serveBench `json:"ab_generic,omitempty"`
+	// A/B legs recorded when -ab is set: the unbatched fallback, the
+	// scan-pump pacer, and (when the primary ran reuseport) the
+	// shared-socket demux mode.
+	AB      *serveBench `json:"ab_generic,omitempty"`
+	ABScan  *serveBench `json:"ab_scan,omitempty"`
+	ABDemux *serveBench `json:"ab_demux,omitempty"`
+}
+
+// loadOpts is one run's full parameterization.
+type loadOpts struct {
+	addr    string
+	kind    netio.BatchKind
+	pacer   netio.PacerKind
+	sockets netio.SocketMode
+	clients int
+	dur     time.Duration
+	stagger time.Duration
+	shards  int
+	c       float64
+	kmax    int
+	layers  int
+	pkt     int
+	maxRate float64
 }
 
 func main() {
@@ -72,6 +97,8 @@ func main() {
 	stagger := flag.Duration("stagger", time.Second, "join stagger window")
 	shards := flag.Int("shards", 0, "server client-table shards (0 = auto)")
 	batch := flag.String("batch", "", "batch I/O kind: auto, mmsg, generic")
+	pacer := flag.String("pacer", "", "send pacer: wheel (default), scan")
+	sockets := flag.String("sockets", "", "socket layout: reuseport (default where available), demux")
 	// The defaults are chosen coherent: two layers (2 x 6000 B/s) fit
 	// comfortably under the 16000 B/s rate cap, so per-client state
 	// reaches a steady layer allocation instead of churning add/drop
@@ -82,7 +109,7 @@ func main() {
 	pkt := flag.Int("pkt", 512, "packet size, bytes")
 	maxRate := flag.Float64("max-rate", 16_000, "per-client rate cap, bytes/s (0 = none)")
 	soak := flag.Bool("soak", false, "assert goodput, fairness, and heap stability; exit nonzero on violation")
-	ab := flag.Bool("ab", false, "also run the unbatched generic leg for an A/B comparison (in-process only)")
+	ab := flag.Bool("ab", false, "also run generic-I/O, scan-pacer, and demux-socket legs for A/B comparison (in-process only)")
 	out := flag.String("out", "", "write results as JSON (e.g. BENCH_SERVE.json)")
 	check := flag.String("check", "", "compare against a recorded BENCH_SERVE.json; exit nonzero on regression")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the run")
@@ -96,8 +123,23 @@ func main() {
 	if *batch == "auto" {
 		kind = netio.BatchAuto
 	}
+	opts := loadOpts{
+		addr:    *addr,
+		kind:    kind,
+		pacer:   netio.PacerKind(*pacer),
+		sockets: netio.SocketMode(*sockets),
+		clients: *clients,
+		dur:     *dur,
+		stagger: *stagger,
+		shards:  *shards,
+		c:       *c,
+		kmax:    *kmax,
+		layers:  *layers,
+		pkt:     *pkt,
+		maxRate: *maxRate,
+	}
 
-	res, err := runOnce(*addr, kind, *clients, *dur, *stagger, *shards, *c, *kmax, *layers, *pkt, *maxRate)
+	res, err := runOnce(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -119,16 +161,25 @@ func main() {
 		if *addr != "" {
 			fatal(fmt.Errorf("-ab needs the in-process server (drop -addr)"))
 		}
-		fmt.Printf("qaload: A/B leg with generic (unbatched) I/O\n")
-		gen, err := runOnce("", netio.BatchGeneric, *clients, *dur, *stagger, *shards, *c, *kmax, *layers, *pkt, *maxRate)
-		if err != nil {
-			fatal(err)
+		abLeg := func(name string, mutate func(*loadOpts)) *serveBench {
+			o := opts
+			mutate(&o)
+			fmt.Printf("qaload: A/B leg: %s\n", name)
+			leg, err := runOnce(o)
+			if err != nil {
+				fatal(err)
+			}
+			report(leg)
+			if leg.PktsPerSec > 0 {
+				fmt.Printf("qaload: primary %.0f pkts/s vs %s %.0f pkts/s (%.2fx)\n",
+					res.PktsPerSec, name, leg.PktsPerSec, res.PktsPerSec/leg.PktsPerSec)
+			}
+			return leg
 		}
-		report(gen)
-		res.AB = gen
-		if gen.PktsPerSec > 0 {
-			fmt.Printf("qaload: batched %.0f pkts/s vs unbatched %.0f pkts/s (%.2fx)\n",
-				res.PktsPerSec, gen.PktsPerSec, res.PktsPerSec/gen.PktsPerSec)
+		res.AB = abLeg("generic (unbatched) I/O", func(o *loadOpts) { o.kind = netio.BatchGeneric })
+		res.ABScan = abLeg("scan pacer", func(o *loadOpts) { o.pacer = netio.PacerScan })
+		if res.Sockets == string(netio.SocketReuseport) {
+			res.ABDemux = abLeg("demux (shared-socket) mode", func(o *loadOpts) { o.sockets = netio.SocketDemux })
 		}
 	}
 
@@ -162,29 +213,55 @@ func main() {
 }
 
 // runOnce performs one full load run and gathers the bench record.
-func runOnce(addr string, kind netio.BatchKind, clients int, dur, stagger time.Duration,
-	shards int, c float64, kmax, layers, pkt int, maxRate float64) (*serveBench, error) {
-
+func runOnce(o loadOpts) (*serveBench, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
 	var srv *netio.MultiServer
 	var srvWg sync.WaitGroup
-	target := addr
+	target := o.addr
 	if target == "" {
-		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
-		if err != nil {
-			return nil, err
+		mode := o.sockets
+		if mode == "" {
+			mode = netio.SocketDemux
+			if netio.ReuseportAvailable() {
+				mode = netio.SocketReuseport
+			}
 		}
-		defer conn.Close()
-		srv, err = netio.NewMultiServer(conn, netio.MultiConfig{
-			QA:        core.Params{C: c, Kmax: kmax, MaxLayers: layers, StartupSec: 0.2},
-			RAP:       rap.Config{PacketSize: pkt, MaxRate: maxRate, InitialRTT: 0.02},
-			Shards:    shards,
-			BatchKind: kind,
-		})
-		if err != nil {
-			return nil, err
+		cfg := netio.MultiConfig{
+			QA:        core.Params{C: o.c, Kmax: o.kmax, MaxLayers: o.layers, StartupSec: 0.2},
+			RAP:       rap.Config{PacketSize: o.pkt, MaxRate: o.maxRate, InitialRTT: 0.02},
+			Shards:    o.shards,
+			BatchKind: o.kind,
+			Pacer:     o.pacer,
+		}
+		switch mode {
+		case netio.SocketReuseport:
+			n := o.shards
+			if n <= 0 {
+				n = netio.DefaultShards()
+			}
+			conns, err := netio.ListenReuseport("udp", "127.0.0.1:0", n)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range conns {
+				defer c.Close()
+			}
+			if srv, err = netio.NewMultiServerConns(conns, cfg); err != nil {
+				return nil, err
+			}
+		case netio.SocketDemux:
+			conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				return nil, err
+			}
+			defer conn.Close()
+			if srv, err = netio.NewMultiServer(conn, cfg); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("unknown -sockets mode %q", mode)
 		}
 		srvWg.Add(1)
 		go func() {
@@ -192,8 +269,8 @@ func runOnce(addr string, kind netio.BatchKind, clients int, dur, stagger time.D
 			srv.Serve(ctx)
 		}()
 		target = srv.Addr()
-		fmt.Printf("qaload: in-process server on %s (%s batch, %d clients x %.0f B/s cap)\n",
-			target, srv.BatchKind(), clients, maxRate)
+		fmt.Printf("qaload: in-process server on %s (%s batch, %s pacer, %s sockets, %d clients x %.0f B/s cap)\n",
+			target, srv.BatchKind(), srv.PacerKind(), srv.SocketMode(), o.clients, o.maxRate)
 	}
 
 	// Heap sampler: HeapAlloc every 250 ms over the run; start/end
@@ -223,9 +300,9 @@ func runOnce(addr string, kind netio.BatchKind, clients int, dur, stagger time.D
 	start := time.Now()
 	res, err := netio.RunLoad(ctx, netio.LoadConfig{
 		Addr:    target,
-		Clients: clients,
-		Dur:     dur,
-		Stagger: stagger,
+		Clients: o.clients,
+		Dur:     o.dur,
+		Stagger: o.stagger,
 	})
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms1)
@@ -240,13 +317,13 @@ func runOnce(addr string, kind netio.BatchKind, clients int, dur, stagger time.D
 		GoOS:    runtime.GOOS,
 		GoArch:  runtime.GOARCH,
 		CPUs:    runtime.NumCPU(),
-		Shards:  shards,
-		Clients: clients,
-		DurSec:  dur.Seconds(),
-		PktSize: pkt,
-		MaxRate: maxRate,
+		Shards:  o.shards,
+		Clients: o.clients,
+		DurSec:  o.dur.Seconds(),
+		PktSize: o.pkt,
+		MaxRate: o.maxRate,
 
-		JoinsPerSec: float64(clients) / stagger.Seconds(),
+		JoinsPerSec: float64(o.clients) / o.stagger.Seconds(),
 		PktsPerSec:  float64(res.PktsTotal) / elapsed.Seconds(),
 		GoodputBps:  res.GoodputTotal,
 		Jain:        res.Jain,
@@ -254,12 +331,16 @@ func runOnce(addr string, kind netio.BatchKind, clients int, dur, stagger time.D
 	}
 	if srv != nil {
 		b.BatchKind = string(srv.BatchKind())
+		b.Pacer = string(srv.PacerKind())
+		b.Sockets = string(srv.SocketMode())
 		st := srv.Stats()
+		b.Shards = len(st.InboxDropsPerShard)
 		b.SrvSent = st.SentPkts
 		b.SrvAcked = st.AckedPkts
 		b.SrvBadPkts = st.BadPackets
 		b.SrvNackDrops = st.NackDrops
 		b.SrvInboxDrop = st.InboxDrops
+		b.SrvShardSheds = st.InboxDropsPerShard
 		if st.SentPkts > 0 {
 			// Whole-process allocation rate per served packet: with the
 			// send loop, batch layer, and load clients all allocation-free
@@ -296,7 +377,8 @@ func report(b *serveBench) {
 
 // soakAssert enforces the soak invariants: everyone was served, service
 // was fair, the send path did not allocate per packet, and the heap did
-// not creep over the run.
+// not creep over the run. In reuseport mode there is no reader->inbox
+// hop, so any shed at all is a bug.
 func soakAssert(b *serveBench) error {
 	if b.Starved > 0 {
 		return fmt.Errorf("soak: %d of %d clients starved", b.Starved, b.Clients)
@@ -309,6 +391,9 @@ func soakAssert(b *serveBench) error {
 	}
 	if b.AllocsPerPkt > 1.0 {
 		return fmt.Errorf("soak: %.2f allocs per served packet (want < 1; the send loop itself must be 0)", b.AllocsPerPkt)
+	}
+	if b.Sockets == string(netio.SocketReuseport) && b.SrvInboxDrop != 0 {
+		return fmt.Errorf("soak: %d inbox sheds in reuseport mode (there are no inboxes to shed)", b.SrvInboxDrop)
 	}
 	if b.HeapStartBytes > 0 && float64(b.HeapEndBytes) > 1.5*float64(b.HeapStartBytes)+8e6 {
 		return fmt.Errorf("soak: heap grew %.1f MB -> %.1f MB over the run",

@@ -34,28 +34,34 @@ func main() {
 	layers := flag.Int("layers", 8, "maximum encoded layers")
 	pkt := flag.Int("pkt", 512, "packet size, bytes")
 	maxRate := flag.Float64("max-rate", 0, "cap on per-client transmission rate, bytes/s (0 = none)")
-	shards := flag.Int("shards", 0, "client-table shards (0 = auto: one per core, max 8)")
+	shards := flag.Int("shards", 0, "client-table shards (0 = auto: one per core, max 8; explicit values above 8 are honored)")
 	batch := flag.String("batch", "", "batch I/O kind: auto, mmsg, generic")
+	pacer := flag.String("pacer", "", "send pacer: wheel (default), scan")
+	sockets := flag.String("sockets", "", "socket layout: reuseport (default where available), demux")
 	maxClients := flag.Int("max-clients", 4096, "concurrent stream cap (joins beyond it are refused)")
 	single := flag.Bool("single", false, "serve one client at a time (the paper's original endpoint)")
 	once := flag.Bool("once", false, "with -single: serve a single stream then exit")
 	metricsAddr := flag.String("metrics", "", "HTTP address serving current metrics as JSON (e.g. 127.0.0.1:9090; empty = disabled)")
 	flag.Parse()
 
-	la, err := net.ResolveUDPAddr("udp", *listen)
-	if err != nil {
-		fatal(err)
-	}
-	conn, err := net.ListenUDP("udp", la)
-	if err != nil {
-		fatal(err)
-	}
-	defer conn.Close()
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	listenOne := func() *net.UDPConn {
+		la, err := net.ResolveUDPAddr("udp", *listen)
+		if err != nil {
+			fatal(err)
+		}
+		conn, err := net.ListenUDP("udp", la)
+		if err != nil {
+			fatal(err)
+		}
+		return conn
+	}
+
 	if *single {
+		conn := listenOne()
+		defer conn.Close()
 		serveSingle(ctx, conn, *c, *kmax, *layers, *pkt, *maxRate, *once, *metricsAddr)
 		return
 	}
@@ -64,25 +70,57 @@ func main() {
 	if *batch == "auto" {
 		kind = netio.BatchAuto
 	}
-	srv, err := netio.NewMultiServer(conn, netio.MultiConfig{
+	mode := netio.SocketMode(*sockets)
+	if mode == "" {
+		mode = netio.SocketDemux
+		if netio.ReuseportAvailable() {
+			mode = netio.SocketReuseport
+		}
+	}
+	cfg := netio.MultiConfig{
 		QA:         core.Params{C: *c, Kmax: *kmax, MaxLayers: *layers, StartupSec: 0.5},
 		RAP:        rap.Config{PacketSize: *pkt, MaxRate: *maxRate, InitialRTT: 0.05},
 		Shards:     *shards,
 		BatchKind:  kind,
+		Pacer:      netio.PacerKind(*pacer),
 		MaxClients: *maxClients,
-	})
-	if err != nil {
-		fatal(err)
 	}
-	fmt.Printf("qaserver: listening on %s (C=%.0f B/s, Kmax=%d, %d layers, %s batch, max %d clients)\n",
-		conn.LocalAddr(), *c, *kmax, *layers, srv.BatchKind(), *maxClients)
+	var srv *netio.MultiServer
+	switch mode {
+	case netio.SocketReuseport:
+		n := *shards
+		if n <= 0 {
+			n = netio.DefaultShards()
+		}
+		conns, err := netio.ListenReuseport("udp", *listen, n)
+		if err != nil {
+			fatal(err)
+		}
+		for _, c := range conns {
+			defer c.Close()
+		}
+		if srv, err = netio.NewMultiServerConns(conns, cfg); err != nil {
+			fatal(err)
+		}
+	case netio.SocketDemux:
+		conn := listenOne()
+		defer conn.Close()
+		var err error
+		if srv, err = netio.NewMultiServer(conn, cfg); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -sockets mode %q", mode))
+	}
+	fmt.Printf("qaserver: listening on %s (C=%.0f B/s, Kmax=%d, %d layers, %s batch, %s pacer, %s sockets, max %d clients)\n",
+		srv.Addr(), *c, *kmax, *layers, srv.BatchKind(), srv.PacerKind(), srv.SocketMode(), *maxClients)
 	if *metricsAddr != "" {
 		go serveMetrics(*metricsAddr, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			srv.WriteMetricsJSON(w)
 		}))
 	}
-	err = srv.Serve(ctx)
+	err := srv.Serve(ctx)
 	st := srv.Stats()
 	fmt.Printf("qaserver: done: accepted=%d sent=%d acked=%d retransmits=%d bad=%d err=%v\n",
 		st.Accepted, st.SentPkts, st.AckedPkts, st.Retransmits, st.BadPackets, err)

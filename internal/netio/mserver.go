@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"net/netip"
 	"runtime"
@@ -17,6 +16,25 @@ import (
 	"qav/internal/rap"
 )
 
+// SocketMode names the two socket layouts a MultiServer can run in.
+// The mode is chosen by constructor — NewMultiServer (demux) vs
+// NewMultiServerConns (reuseport/owned) — these constants exist so
+// command-line tools can expose the choice as a flag.
+type SocketMode string
+
+const (
+	// SocketDemux: one shared socket, one reader goroutine
+	// demultiplexing to per-shard inboxes by FNV address hash. Portable
+	// (works on every platform) and the non-linux default.
+	SocketDemux SocketMode = "demux"
+	// SocketReuseport: one SO_REUSEPORT socket per shard, each shard
+	// goroutine doing its own batched reads and writes. The kernel
+	// steers each client 4-tuple to a consistent socket, so the
+	// reader->inbox hop (and its sheds) disappears. Linux only; see
+	// ListenReuseport.
+	SocketReuseport SocketMode = "reuseport"
+)
+
 // MultiConfig parameterizes a multi-client streaming server.
 type MultiConfig struct {
 	// QA configures every stream's quality adaptation controller.
@@ -25,7 +43,16 @@ type MultiConfig struct {
 	// the wire size (header + payload); if zero it defaults to 512.
 	RAP rap.Config
 	// Shards is the number of independent client-table shards, each
-	// owned by one goroutine (default GOMAXPROCS, capped at 8).
+	// owned by one goroutine. When unset it defaults to
+	// DefaultShards(): GOMAXPROCS capped at 8, because in demux mode
+	// the single reader goroutine becomes the bottleneck well before
+	// eight shards are saturated and further shards only add wakeups.
+	// An explicit value is honored as given — including values above 8
+	// (useful in reuseport mode, where every shard owns a socket and
+	// there is no shared reader); a value above GOMAXPROCS is accepted
+	// but flagged in Stats().ShardsOverCPU rather than silently
+	// clamped, since shards beyond the core count just time-slice.
+	// Ignored by NewMultiServerConns, which runs one shard per socket.
 	Shards int
 	// Batch is the number of datagrams moved per batched syscall
 	// (default 32, capped at the platform batch capacity).
@@ -33,6 +60,11 @@ type MultiConfig struct {
 	// BatchKind selects the I/O implementation (default BatchAuto:
 	// mmsg on Linux, generic elsewhere).
 	BatchKind BatchKind
+	// Pacer selects how a shard finds its due sessions: PacerWheel
+	// (default) pays O(due) per wakeup via a hierarchical timing
+	// wheel; PacerScan is the original walk-every-session pump, kept
+	// as the differential reference and A/B baseline.
+	Pacer PacerKind
 	// MaxClients caps concurrent streams; joins beyond it are refused
 	// (default 4096).
 	MaxClients int
@@ -46,6 +78,16 @@ type MultiConfig struct {
 	SeqWindow int
 }
 
+// DefaultShards is the shard count used when MultiConfig.Shards is
+// unset: GOMAXPROCS, capped at 8 (see the Shards field doc for why).
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
 func (c *MultiConfig) normalize() error {
 	if c.RAP.PacketSize <= 0 {
 		c.RAP.PacketSize = 512
@@ -54,13 +96,17 @@ func (c *MultiConfig) normalize() error {
 		return fmt.Errorf("netio: packet size %d <= header %d", c.RAP.PacketSize, DataHeaderLen)
 	}
 	if c.Shards <= 0 {
-		c.Shards = runtime.GOMAXPROCS(0)
-		if c.Shards > 8 {
-			c.Shards = 8
-		}
+		c.Shards = DefaultShards()
 	}
 	if c.Batch <= 0 {
 		c.Batch = 32
+	}
+	switch c.Pacer {
+	case "":
+		c.Pacer = PacerWheel
+	case PacerWheel, PacerScan:
+	default:
+		return fmt.Errorf("netio: unknown pacer %q", c.Pacer)
 	}
 	if c.MaxClients <= 0 {
 		c.MaxClients = 4096
@@ -89,22 +135,41 @@ type inMsg struct {
 	durMs uint32 // valid when kind == KindReq
 }
 
-// MultiServer streams layered data to many clients concurrently over
-// one UDP socket. A reader goroutine drains the socket in batches and
-// demultiplexes requests/acknowledgements to per-shard inboxes by
-// client address; each shard goroutine exclusively owns its client
-// table and paces its sessions' data packets out through its own
-// batched writer — there is no mutex anywhere on the packet path, and
-// at steady state the send loop performs zero heap allocations per
-// packet (buffers, batch scratch, and session state are all
-// preallocated; inboxes carry values).
+// MultiServer streams layered data to many clients concurrently. Two
+// socket layouts exist:
+//
+// Demux (NewMultiServer): one UDP socket; a reader goroutine drains it
+// in batches and demultiplexes requests/acknowledgements to per-shard
+// inboxes by client address hash.
+//
+// Owned (NewMultiServerConns): one socket per shard — on linux,
+// SO_REUSEPORT siblings on one port (ListenReuseport) — and each shard
+// goroutine does its own batched reads, deleting the reader->inbox
+// hop and its sheds.
+//
+// In both modes each shard goroutine exclusively owns its client table
+// and paces its sessions' data packets out through its own batched
+// writer — there is no mutex anywhere on the packet path, and at
+// steady state the send loop performs zero heap allocations per packet
+// (buffers, batch scratch, session state, and the pacing wheel's
+// intrusive lists are all preallocated; inboxes carry values). Time is
+// sampled once per shard loop iteration into a coarse shared clock
+// (coarseNs); the per-message paths never syscall for time.
 type MultiServer struct {
 	cfg     MultiConfig
-	conn    *net.UDPConn
-	reader  BatchConn
+	conn    *net.UDPConn // demux mode; nil when shards own their sockets
+	reader  BatchConn    // demux mode
+	owned   bool         // shards own their sockets (reuseport mode)
 	shards  []*shard
 	start   time.Time
 	payload []byte // shared zero payload, read-only
+
+	// coarseNs is the coarse clock: monotonic nanoseconds since start,
+	// published by publishNow once per shard/reader loop iteration and
+	// read lock-free everywhere a "recent enough" timestamp suffices
+	// (read-deadline arming, inbox-wakeup handling). Staleness is
+	// bounded by the shortest loop period (at most idleSweepSec).
+	coarseNs atomic.Int64
 
 	active atomic.Int64 // live sessions across all shards
 
@@ -117,25 +182,32 @@ type MultiServer struct {
 	unknown   *metrics.Counter
 	sent      *metrics.Counter
 	acked     *metrics.Counter
+	shardwarn *metrics.Counter
 	batchSz   *metrics.Histogram
 	sessIns   sessionInstruments
 }
 
-// shard owns a disjoint subset of clients, hashed by address. All shard
-// state is touched only by the shard's goroutine.
+// shard owns a disjoint subset of clients. All shard state except the
+// sheds counter is touched only by the shard's goroutine.
 type shard struct {
 	srv      *MultiServer
-	inbox    chan inMsg
+	inbox    chan inMsg // demux mode; nil when the shard owns a socket
 	sessions map[netip.AddrPort]*session
-	order    []*session // iteration order; swap-removed on expiry
+	order    []*session // insertion order; swap-removed on expiry
 	writer   BatchConn
 	msgs     []Message // preallocated write batch (Buf sized to PacketSize)
+	pacer    pacer
+	idleSec  float64      // cfg.IdleTimeout in seconds, cached off the hot path
+	sheds    atomic.Int64 // inbox messages shed for this shard (demux mode; written by the reader)
+
+	// Owned-socket (reuseport) mode only:
+	conn  *net.UDPConn
+	rdBuf []Message // preallocated read batch
 }
 
-// NewMultiServer wraps an already-bound UDP socket in a sharded
-// multi-client server. The socket stays caller-owned: close it (or
-// cancel Serve's context) to shut down.
-func NewMultiServer(conn *net.UDPConn, cfg MultiConfig) (*MultiServer, error) {
+// newMulti validates the config and builds the shared (mode-agnostic)
+// server core; the constructors attach sockets and shards.
+func newMulti(cfg MultiConfig) (*MultiServer, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -143,15 +215,9 @@ func NewMultiServer(conn *net.UDPConn, cfg MultiConfig) (*MultiServer, error) {
 	if _, err := core.NewController(cfg.QA); err != nil {
 		return nil, err
 	}
-	reader, err := NewBatchConn(conn, cfg.BatchKind)
-	if err != nil {
-		return nil, err
-	}
 	reg := metrics.NewRegistry()
 	s := &MultiServer{
 		cfg:       cfg,
-		conn:      conn,
-		reader:    reader,
 		start:     time.Now(),
 		payload:   make([]byte, cfg.RAP.PacketSize-DataHeaderLen),
 		reg:       reg,
@@ -163,6 +229,7 @@ func NewMultiServer(conn *net.UDPConn, cfg MultiConfig) (*MultiServer, error) {
 		unknown:   reg.Counter("srv.unknownack"),
 		sent:      reg.Counter("srv.sent"),
 		acked:     reg.Counter("srv.acked"),
+		shardwarn: reg.Counter("srv.shardsovercpu"),
 		batchSz:   reg.Histogram("srv.batchsz", metrics.HistogramOpts{MinExp: 0, MaxExp: 8}),
 	}
 	s.sessIns = sessionInstruments{
@@ -172,22 +239,82 @@ func NewMultiServer(conn *net.UDPConn, cfg MultiConfig) (*MultiServer, error) {
 	}
 	reg.GaugeFunc("srv.clients", func() float64 { return float64(s.active.Load()) })
 	reg.GaugeFunc("srv.shards", func() float64 { return float64(len(s.shards)) })
-	for i := 0; i < cfg.Shards; i++ {
-		writer, err := NewBatchConn(conn, cfg.BatchKind)
+	if cfg.Shards > runtime.GOMAXPROCS(0) {
+		// Honored, not clamped: the caller asked for it. The counter
+		// makes the oversubscription visible in metrics and Stats.
+		s.shardwarn.Inc()
+	}
+	return s, nil
+}
+
+func (s *MultiServer) addShard(writer BatchConn) *shard {
+	sh := &shard{
+		srv:      s,
+		sessions: make(map[netip.AddrPort]*session),
+		writer:   writer,
+		msgs:     make([]Message, s.cfg.Batch),
+		pacer:    newPacer(s.cfg.Pacer),
+		idleSec:  s.cfg.IdleTimeout.Seconds(),
+	}
+	for j := range sh.msgs {
+		sh.msgs[j].Buf = make([]byte, s.cfg.RAP.PacketSize)
+	}
+	s.shards = append(s.shards, sh)
+	return sh
+}
+
+// NewMultiServer wraps an already-bound UDP socket in a sharded
+// multi-client server (demux mode). The socket stays caller-owned:
+// close it (or cancel Serve's context) to shut down.
+func NewMultiServer(conn *net.UDPConn, cfg MultiConfig) (*MultiServer, error) {
+	s, err := newMulti(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.conn = conn
+	if s.reader, err = NewBatchConn(conn, s.cfg.BatchKind); err != nil {
+		return nil, err
+	}
+	for i := 0; i < s.cfg.Shards; i++ {
+		writer, err := NewBatchConn(conn, s.cfg.BatchKind)
 		if err != nil {
 			return nil, err
 		}
-		sh := &shard{
-			srv:      s,
-			inbox:    make(chan inMsg, 4*cfg.Batch),
-			sessions: make(map[netip.AddrPort]*session),
-			writer:   writer,
-			msgs:     make([]Message, cfg.Batch),
+		sh := s.addShard(writer)
+		sh.inbox = make(chan inMsg, 4*s.cfg.Batch)
+	}
+	return s, nil
+}
+
+// NewMultiServerConns builds a server where each shard exclusively owns
+// one of the given sockets (owned/reuseport mode): no reader goroutine,
+// no inbox channels, no sheds — each shard does its own batched reads
+// between pump wakeups. The sockets are expected to share a port via
+// SO_REUSEPORT (see ListenReuseport) so the kernel steers each client's
+// 4-tuple to a consistent shard; any per-socket layout works, though —
+// distinct ports with an external balancer is equally valid. cfg.Shards
+// is ignored: there is one shard per socket. Sockets stay caller-owned.
+func NewMultiServerConns(conns []*net.UDPConn, cfg MultiConfig) (*MultiServer, error) {
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("netio: NewMultiServerConns needs at least one socket")
+	}
+	cfg.Shards = len(conns)
+	s, err := newMulti(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.owned = true
+	for _, c := range conns {
+		bc, err := NewBatchConn(c, s.cfg.BatchKind)
+		if err != nil {
+			return nil, err
 		}
-		for j := range sh.msgs {
-			sh.msgs[j].Buf = make([]byte, cfg.RAP.PacketSize)
+		sh := s.addShard(bc)
+		sh.conn = c
+		sh.rdBuf = make([]Message, s.cfg.Batch)
+		for j := range sh.rdBuf {
+			sh.rdBuf[j].Buf = make([]byte, 2048) // acks and reqs are tens of bytes
 		}
-		s.shards = append(s.shards, sh)
 	}
 	return s, nil
 }
@@ -200,16 +327,55 @@ func (s *MultiServer) Metrics() *metrics.Registry { return s.reg }
 // JSON, expvar-style.
 func (s *MultiServer) WriteMetricsJSON(w io.Writer) error { return s.reg.WriteJSON(w) }
 
-// Addr returns the server's bound address.
-func (s *MultiServer) Addr() string { return s.conn.LocalAddr().String() }
+// Addr returns the server's bound address (the first socket's, in
+// owned mode — reuseport siblings share it).
+func (s *MultiServer) Addr() string {
+	if s.owned {
+		return s.shards[0].conn.LocalAddr().String()
+	}
+	return s.conn.LocalAddr().String()
+}
 
 // BatchKind reports the I/O implementation actually in use.
-func (s *MultiServer) BatchKind() BatchKind { return s.reader.Kind() }
+func (s *MultiServer) BatchKind() BatchKind {
+	if s.owned {
+		return s.shards[0].writer.Kind()
+	}
+	return s.reader.Kind()
+}
+
+// PacerKind reports the pacing implementation in use.
+func (s *MultiServer) PacerKind() PacerKind { return s.cfg.Pacer }
+
+// SocketMode reports the socket layout in use.
+func (s *MultiServer) SocketMode() SocketMode {
+	if s.owned {
+		return SocketReuseport
+	}
+	return SocketDemux
+}
 
 // ActiveClients returns the number of live streams.
 func (s *MultiServer) ActiveClients() int { return int(s.active.Load()) }
 
-func (s *MultiServer) now() float64 { return time.Since(s.start).Seconds() }
+// publishNow samples the monotonic clock once and publishes it to the
+// coarse clock. Shard and reader loops call it once per iteration;
+// everything inside an iteration (handle/drain/pump, deadline arming)
+// reuses the published instant instead of syscalling.
+func (s *MultiServer) publishNow() float64 {
+	ns := time.Since(s.start).Nanoseconds()
+	s.coarseNs.Store(ns)
+	return float64(ns) / 1e9
+}
+
+// coarseDeadline turns a duration-from-now into an absolute deadline
+// off the coarse clock — no time syscall. The result lags a fresh
+// time.Now() by at most the publisher loop period, which callers
+// absorb by construction (deadlines here are polling intervals, not
+// precision timers).
+func (s *MultiServer) coarseDeadline(d time.Duration) time.Time {
+	return s.start.Add(time.Duration(s.coarseNs.Load()) + d)
+}
 
 // MultiStats is a point-in-time aggregate snapshot.
 type MultiStats struct {
@@ -224,31 +390,65 @@ type MultiStats struct {
 	NackDrops     int64
 	BadPackets    int64
 	InboxDrops    int64
-	UnknownAcks   int64
+	// InboxDropsPerShard breaks InboxDrops down by destination shard
+	// (all zeros in owned/reuseport mode, which has no inboxes). A
+	// single hot entry means one shard's clients are flooding; uniform
+	// drops mean the shards themselves can't keep up.
+	InboxDropsPerShard []int64
+	UnknownAcks        int64
+	// ShardsOverCPU is nonzero when the configured shard count exceeds
+	// GOMAXPROCS (the shards merely time-slice; see MultiConfig.Shards).
+	ShardsOverCPU int64
 }
 
 // Stats returns aggregate counters. Safe concurrently with serving.
 func (s *MultiServer) Stats() MultiStats {
+	perShard := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		perShard[i] = sh.sheds.Load()
+	}
 	return MultiStats{
-		ActiveClients: int(s.active.Load()),
-		Accepted:      s.accepted.Load(),
-		Rejected:      s.rejected.Load(),
-		Expired:       s.expired.Load(),
-		SentPkts:      s.sent.Load(),
-		AckedPkts:     s.acked.Load(),
-		Delivered:     s.sessIns.Delivered.Load(),
-		Retransmits:   s.sessIns.Retransmits.Load(),
-		NackDrops:     s.sessIns.NackDrops.Load(),
-		BadPackets:    s.badPkt.Load(),
-		InboxDrops:    s.inboxDrop.Load(),
-		UnknownAcks:   s.unknown.Load(),
+		ActiveClients:      int(s.active.Load()),
+		Accepted:           s.accepted.Load(),
+		Rejected:           s.rejected.Load(),
+		Expired:            s.expired.Load(),
+		SentPkts:           s.sent.Load(),
+		AckedPkts:          s.acked.Load(),
+		Delivered:          s.sessIns.Delivered.Load(),
+		Retransmits:        s.sessIns.Retransmits.Load(),
+		NackDrops:          s.sessIns.NackDrops.Load(),
+		BadPackets:         s.badPkt.Load(),
+		InboxDrops:         s.inboxDrop.Load(),
+		InboxDropsPerShard: perShard,
+		UnknownAcks:        s.unknown.Load(),
+		ShardsOverCPU:      s.shardwarn.Load(),
 	}
 }
 
-// Serve runs the reader and all shard goroutines until ctx is
-// cancelled or the socket is closed.
+// Serve runs the shard goroutines (plus, in demux mode, the reader)
+// until ctx is cancelled or the sockets fail.
 func (s *MultiServer) Serve(ctx context.Context) error {
 	var wg sync.WaitGroup
+	if s.owned {
+		errc := make(chan error, len(s.shards))
+		for _, sh := range s.shards {
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				errc <- sh.runOwned(ctx)
+			}(sh)
+		}
+		wg.Wait()
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		for range s.shards {
+			if err := <-errc; err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	for _, sh := range s.shards {
 		wg.Add(1)
 		go func(sh *shard) {
@@ -265,7 +465,9 @@ func (s *MultiServer) Serve(ctx context.Context) error {
 }
 
 // shardOf hashes a client address to its owning shard (FNV-1a over the
-// 16-byte address and port; allocation-free).
+// 16-byte address and port; allocation-free). Demux mode only — in
+// owned mode the kernel's reuseport steering decides, and the two
+// need not agree (see DESIGN.md).
 func (s *MultiServer) shardOf(addr netip.AddrPort) *shard {
 	const (
 		offset64 = 14695981039346656037
@@ -282,11 +484,45 @@ func (s *MultiServer) shardOf(addr netip.AddrPort) *shard {
 	return s.shards[h%uint64(len(s.shards))]
 }
 
-// readLoop drains the socket in batches and demultiplexes to shard
-// inboxes. Malformed or foreign datagrams are counted and dropped — a
-// garbage packet must never panic or desync a stream. A full inbox
-// sheds the message rather than blocking the reader, so one client's
-// flood cannot stall ingestion for other shards.
+// decodeMsg validates and decodes one inbound datagram. Malformed or
+// foreign datagrams are counted and dropped — a garbage packet must
+// never panic or desync a stream.
+func (s *MultiServer) decodeMsg(msg *Message) (inMsg, bool) {
+	b := msg.Buf[:msg.N]
+	k, err := Kind(b)
+	if err != nil {
+		s.badPkt.Inc()
+		return inMsg{}, false
+	}
+	var m inMsg
+	m.addr = netip.AddrPortFrom(msg.Addr.Addr().Unmap(), msg.Addr.Port())
+	m.kind = k
+	switch k {
+	case KindAck:
+		a, err := DecodeAck(b)
+		if err != nil {
+			s.badPkt.Inc()
+			return inMsg{}, false
+		}
+		m.ack = a
+	case KindReq:
+		r, err := DecodeReq(b)
+		if err != nil {
+			s.badPkt.Inc()
+			return inMsg{}, false
+		}
+		m.durMs = r.DurationMs
+	default:
+		s.badPkt.Inc()
+		return inMsg{}, false
+	}
+	return m, true
+}
+
+// readLoop (demux mode) drains the socket in batches and demultiplexes
+// to shard inboxes. A full inbox sheds the message rather than
+// blocking the reader, so one client's flood cannot stall ingestion
+// for other shards; sheds are counted per destination shard.
 func (s *MultiServer) readLoop(ctx context.Context) error {
 	ms := make([]Message, s.cfg.Batch)
 	for i := range ms {
@@ -296,41 +532,22 @@ func (s *MultiServer) readLoop(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
-		s.reader.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		s.reader.SetReadDeadline(s.coarseDeadline(100 * time.Millisecond))
 		n, err := s.reader.ReadBatch(ms)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				// Republish so the next deadline is armed off a fresh
+				// base even when every shard is asleep — a stale base
+				// would make successive deadlines land in the past and
+				// spin this loop.
+				s.publishNow()
 				continue
 			}
 			return err
 		}
 		for i := 0; i < n; i++ {
-			b := ms[i].Buf[:ms[i].N]
-			k, err := Kind(b)
-			if err != nil {
-				s.badPkt.Inc()
-				continue
-			}
-			var m inMsg
-			m.addr = netip.AddrPortFrom(ms[i].Addr.Addr().Unmap(), ms[i].Addr.Port())
-			m.kind = k
-			switch k {
-			case KindAck:
-				a, err := DecodeAck(b)
-				if err != nil {
-					s.badPkt.Inc()
-					continue
-				}
-				m.ack = a
-			case KindReq:
-				r, err := DecodeReq(b)
-				if err != nil {
-					s.badPkt.Inc()
-					continue
-				}
-				m.durMs = r.DurationMs
-			default:
-				s.badPkt.Inc()
+			m, ok := s.decodeMsg(&ms[i])
+			if !ok {
 				continue
 			}
 			sh := s.shardOf(m.addr)
@@ -338,6 +555,7 @@ func (s *MultiServer) readLoop(ctx context.Context) error {
 			case sh.inbox <- m:
 			default:
 				s.inboxDrop.Inc()
+				sh.sheds.Add(1)
 			}
 		}
 	}
@@ -352,9 +570,11 @@ const inboxBurst = 128
 // noticed promptly even with nothing to send.
 const idleSweepSec = 0.05
 
-// run is the shard goroutine: drain a bounded burst of inbox messages,
-// pace out every due packet in one batched write, then sleep until the
-// earliest next-send instant (or the next inbox arrival).
+// run is the demux-mode shard goroutine: drain a bounded burst of
+// inbox messages, pace out due packets in one batched write, then
+// sleep until the earliest next wake (or the next inbox arrival). The
+// clock is sampled once per iteration (publishNow); drain and pump
+// share that instant.
 func (sh *shard) run(ctx context.Context) {
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
@@ -364,10 +584,10 @@ func (sh *shard) run(ctx context.Context) {
 			return
 		default:
 		}
-		sh.drain()
-		now := sh.srv.now()
+		now := sh.srv.publishNow()
+		sh.drain(now)
 		_, next := sh.pump(now)
-		delay := next - sh.srv.now()
+		delay := next - sh.srv.publishNow()
 		if delay <= 0 {
 			continue // more packets already due
 		}
@@ -385,18 +605,56 @@ func (sh *shard) run(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case m := <-sh.inbox:
-			sh.handle(m, sh.srv.now())
+			sh.handle(m, sh.srv.publishNow())
 		case <-timer.C:
 		}
 	}
 }
 
+// runOwned is the owned-socket shard goroutine: pump, then read on the
+// shard's own socket with the deadline set to the earliest next wake.
+// When the shard is backlogged the deadline floor keeps reads live (an
+// already-expired deadline would fail reads without draining queued
+// acks, starving the congestion controllers that gate the very sends
+// causing the backlog).
+func (sh *shard) runOwned(ctx context.Context) error {
+	const readFloorSec = 1e-4
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		now := sh.srv.publishNow()
+		_, next := sh.pump(now)
+		delay := next - now
+		if delay < readFloorSec {
+			delay = readFloorSec
+		}
+		if delay > idleSweepSec {
+			delay = idleSweepSec
+		}
+		sh.writer.SetReadDeadline(sh.srv.coarseDeadline(time.Duration(delay * float64(time.Second))))
+		n, err := sh.writer.ReadBatch(sh.rdBuf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		now = sh.srv.publishNow()
+		for i := 0; i < n; i++ {
+			if m, ok := sh.srv.decodeMsg(&sh.rdBuf[i]); ok {
+				sh.handle(m, now)
+			}
+		}
+	}
+}
+
 // drain consumes up to inboxBurst queued messages without blocking.
-func (sh *shard) drain() {
+func (sh *shard) drain(now float64) {
 	for i := 0; i < inboxBurst; i++ {
 		select {
 		case m := <-sh.inbox:
-			sh.handle(m, sh.srv.now())
+			sh.handle(m, now)
 		default:
 			return
 		}
@@ -408,6 +666,7 @@ func (sh *shard) handle(m inMsg, now float64) {
 	switch m.kind {
 	case KindReq:
 		st := sh.sessions[m.addr]
+		created := false
 		if st == nil {
 			srv := sh.srv
 			if int(srv.active.Load()) >= srv.cfg.MaxClients {
@@ -421,9 +680,11 @@ func (sh *shard) handle(m inMsg, now float64) {
 			}
 			st.ins = &srv.sessIns
 			sh.sessions[m.addr] = st
+			st.orderIdx = len(sh.order)
 			sh.order = append(sh.order, st)
 			srv.active.Add(1)
 			srv.accepted.Inc()
+			created = true
 		}
 		dur := float64(m.durMs) / 1e3
 		if max := sh.srv.cfg.MaxStream.Seconds(); dur > max {
@@ -431,6 +692,14 @@ func (sh *shard) handle(m inMsg, now float64) {
 		}
 		st.deadline = now + dur
 		st.lastRecv = now
+		// Register after deadline/lastRecv are final: the pacer files
+		// the session by its wake instant, which reads both. A
+		// re-request may pull the deadline earlier, so it re-files.
+		if created {
+			sh.pacer.add(sh, st, now)
+		} else {
+			sh.pacer.update(sh, st, now)
+		}
 	case KindAck:
 		st := sh.sessions[m.addr]
 		if st == nil {
@@ -439,49 +708,80 @@ func (sh *shard) handle(m inMsg, now float64) {
 		}
 		st.onAck(now, m.ack)
 		sh.srv.acked.Inc()
+		// No pacer update: acks only move wake instants later (idle
+		// expiry pushes out; nextSend is untouched), and the wheel
+		// re-files lazily at fire time.
 	}
 }
 
-// pump expires dead sessions, gathers every due packet into the write
-// batch, and sends it. It returns the number of packets written and
-// the earliest next-send instant among live sessions (+Inf when the
-// shard is empty). Zero heap allocations at steady state.
+// pump expires dead sessions, gathers due packets into the write
+// batch, and sends them in one batched write, through the configured
+// pacer. Returns packets written and the earliest next wake instant
+// (+Inf when nothing is due within the pacer's horizon). Zero heap
+// allocations at steady state.
 func (sh *shard) pump(now float64) (sent int, next float64) {
-	next = math.Inf(1)
-	idle := sh.srv.cfg.IdleTimeout.Seconds()
-	k := 0
-	for i := 0; i < len(sh.order); i++ {
-		st := sh.order[i]
-		if now >= st.deadline || now-st.lastRecv > idle {
-			sh.remove(i, st)
-			i--
-			continue
-		}
-		if st.nextSend <= now && k < len(sh.msgs) {
-			n := st.buildPacket(now, sh.msgs[k].Buf)
-			if n > 0 {
-				sh.msgs[k].N = n
-				sh.msgs[k].Addr = st.addr
-				k++
-			}
-		}
-		if st.nextSend < next {
-			next = st.nextSend
+	return sh.pacer.pump(sh, now)
+}
+
+// expired reports whether st is past its stream deadline or idle cutoff.
+func (sh *shard) expired(st *session, now float64) bool {
+	return now >= st.deadline || now-st.lastRecv > sh.idleSec
+}
+
+// wakeAt is the earliest instant st next needs service: its paced send
+// or whichever expiry comes first.
+func (sh *shard) wakeAt(st *session) float64 {
+	w := st.nextSend
+	if st.deadline < w {
+		w = st.deadline
+	}
+	if e := st.lastRecv + sh.idleSec; e < w {
+		w = e
+	}
+	return w
+}
+
+// sendBurst bounds per-session catch-up within one pump. A session
+// that fell behind (timer coalescing at idleSweepSec, a long inbox
+// drain, a descheduled shard) may send up to this many back-to-back
+// packets per wakeup instead of one, so recovery takes
+// O(backlog/burst) wakeups rather than O(backlog) — while staying
+// small enough that no one session can monopolize the write batch.
+const sendBurst = 8
+
+// buildDue appends st's due packets (up to sendBurst, bounded by the
+// batch budget) to the write batch starting at index k, returning the
+// new fill level. buildPacket advances st.nextSend each call, so the
+// loop exits as soon as the session is caught up.
+func (sh *shard) buildDue(st *session, now float64, k int) int {
+	for b := 0; b < sendBurst && st.nextSend <= now && k < len(sh.msgs); b++ {
+		if n := st.buildPacket(now, sh.msgs[k].Buf); n > 0 {
+			sh.msgs[k].N = n
+			sh.msgs[k].Addr = st.addr
+			k++
 		}
 	}
+	return k
+}
+
+// flush writes the first k batch entries in one batched syscall.
+func (sh *shard) flush(k int) {
 	if k > 0 {
 		sh.writer.WriteBatch(sh.msgs[:k]) // per-datagram kernel errors are not fatal
 		sh.srv.sent.Add(int64(k))
 		sh.srv.batchSz.Observe(float64(k))
 	}
-	return k, next
 }
 
-// remove drops the session at order index i (swap-remove).
-func (sh *shard) remove(i int, st *session) {
+// removeSession drops an expired session: pacer, table, order slice
+// (swap-remove via the session's stored index).
+func (sh *shard) removeSession(st *session) {
+	sh.pacer.remove(st)
 	delete(sh.sessions, st.addr)
-	last := len(sh.order) - 1
-	sh.order[i] = sh.order[last]
+	i, last := st.orderIdx, len(sh.order)-1
+	moved := sh.order[last]
+	sh.order[i] = moved
+	moved.orderIdx = i
 	sh.order[last] = nil
 	sh.order = sh.order[:last]
 	sh.srv.active.Add(-1)

@@ -327,60 +327,63 @@ func TestAllocFreeServeSendLoop(t *testing.T) {
 		t.Skip("race instrumentation allocates; run without -race")
 	}
 	for _, kind := range availableKinds(t) {
-		t.Run(string(kind), func(t *testing.T) {
-			conn := listenUDPTB(t)
-			defer conn.Close()
-			srv, err := NewMultiServer(conn, MultiConfig{
-				QA:        core.Params{C: 15_000, Kmax: 2, MaxLayers: 2, StartupSec: 0.1},
-				RAP:       rap.Config{PacketSize: 512, InitialRTT: 0.02, MaxRate: 40_000},
-				Shards:    1,
-				BatchKind: kind,
+		for _, pk := range []PacerKind{PacerScan, PacerWheel} {
+			t.Run(string(kind)+"/"+string(pk), func(t *testing.T) {
+				conn := listenUDPTB(t)
+				defer conn.Close()
+				srv, err := NewMultiServer(conn, MultiConfig{
+					QA:        core.Params{C: 15_000, Kmax: 2, MaxLayers: 2, StartupSec: 0.1},
+					RAP:       rap.Config{PacketSize: 512, InitialRTT: 0.02, MaxRate: 40_000},
+					Shards:    1,
+					BatchKind: kind,
+					Pacer:     pk,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// A real destination socket; its receive buffer overflowing
+				// just drops datagrams, which is fine — nobody reads it.
+				sink := listenUDPTB(t)
+				defer sink.Close()
+				sinkAddr := sink.LocalAddr().(*net.UDPAddr).AddrPort()
+
+				sh := srv.shards[0]
+				now := 0.0
+				sh.handle(inMsg{addr: sinkAddr, kind: KindReq, durMs: 3_600_000}, now)
+				if len(sh.order) != 1 {
+					t.Fatal("session not created")
+				}
+				sess := sh.order[0]
+
+				ackAll := func(now float64) {
+					// Acknowledge everything outstanding (in order) so RAP and
+					// the controller reach — and stay in — steady state.
+					for seq := sess.snd.Acked + sess.snd.Lost; seq < sess.snd.Sent; seq++ {
+						sh.handle(inMsg{addr: sinkAddr, kind: KindAck, ack: Ack{AckSeq: seq, NackLayer: NoNack}}, now)
+					}
+				}
+				pumpSlice := func() {
+					for i := 0; i < 50; i++ {
+						now += 0.02
+						sh.pump(now)
+						ackAll(now)
+					}
+				}
+				// Warm up: rate converges to MaxRate, layers fill, pools and
+				// map capacity stabilize, controller events quiesce.
+				for i := 0; i < 20; i++ {
+					pumpSlice()
+				}
+				sentBefore := sess.snd.Sent
+				allocs := testing.AllocsPerRun(20, pumpSlice)
+				if allocs != 0 {
+					t.Fatalf("steady-state serve send loop (%s/%s): %.1f allocs per 1s slice, want 0", kind, pk, allocs)
+				}
+				if sess.snd.Sent == sentBefore {
+					t.Fatal("measured window sent nothing")
+				}
 			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			// A real destination socket; its receive buffer overflowing
-			// just drops datagrams, which is fine — nobody reads it.
-			sink := listenUDPTB(t)
-			defer sink.Close()
-			sinkAddr := sink.LocalAddr().(*net.UDPAddr).AddrPort()
-
-			sh := srv.shards[0]
-			now := 0.0
-			sh.handle(inMsg{addr: sinkAddr, kind: KindReq, durMs: 3_600_000}, now)
-			if len(sh.order) != 1 {
-				t.Fatal("session not created")
-			}
-			sess := sh.order[0]
-
-			ackAll := func(now float64) {
-				// Acknowledge everything outstanding (in order) so RAP and
-				// the controller reach — and stay in — steady state.
-				for seq := sess.snd.Acked + sess.snd.Lost; seq < sess.snd.Sent; seq++ {
-					sh.handle(inMsg{addr: sinkAddr, kind: KindAck, ack: Ack{AckSeq: seq, NackLayer: NoNack}}, now)
-				}
-			}
-			pumpSlice := func() {
-				for i := 0; i < 50; i++ {
-					now += 0.02
-					sh.pump(now)
-					ackAll(now)
-				}
-			}
-			// Warm up: rate converges to MaxRate, layers fill, pools and
-			// map capacity stabilize, controller events quiesce.
-			for i := 0; i < 20; i++ {
-				pumpSlice()
-			}
-			sentBefore := sess.snd.Sent
-			allocs := testing.AllocsPerRun(20, pumpSlice)
-			if allocs != 0 {
-				t.Fatalf("steady-state serve send loop (%s): %.1f allocs per 1s slice, want 0", kind, allocs)
-			}
-			if sess.snd.Sent == sentBefore {
-				t.Fatal("measured window sent nothing")
-			}
-		})
+		}
 	}
 }
 
@@ -431,6 +434,105 @@ func TestMultiServerMemoryBoundedUnderLoad(t *testing.T) {
 	runtime.ReadMemStats(&after)
 	if growth := int64(after.HeapAlloc) - int64(before.HeapAlloc); growth > 2<<20 {
 		t.Fatalf("heap grew %.1f MB under sustained half-lost load, want bounded", float64(growth)/1e6)
+	}
+}
+
+// TestMultiServerReuseport runs the owned-socket mode end to end: each
+// shard on its own SO_REUSEPORT sibling, kernel-steered clients, no
+// reader goroutine — so there must be zero inbox sheds by construction.
+func TestMultiServerReuseport(t *testing.T) {
+	if !ReuseportAvailable() {
+		t.Skip("SO_REUSEPORT socket groups unsupported on this platform")
+	}
+	conns, err := ListenReuseport("udp", "127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range conns {
+		defer c.Close()
+	}
+	srv, err := NewMultiServerConns(conns, MultiConfig{
+		QA:  core.Params{C: 15_000, Kmax: 2, MaxLayers: 6, StartupSec: 0.2},
+		RAP: rap.Config{PacketSize: 512, InitialRTT: 0.02, MaxRate: 30_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.SocketMode(); got != SocketReuseport {
+		t.Fatalf("socket mode %q, want %q", got, SocketReuseport)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.Serve(ctx)
+	}()
+	defer func() { cancel(); wg.Wait() }()
+
+	res, err := RunLoad(context.Background(), LoadConfig{
+		Addr:     srv.Addr(),
+		Clients:  8,
+		Dur:      1500 * time.Millisecond,
+		Stagger:  300 * time.Millisecond,
+		IdleExit: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Starved > 0 {
+		t.Fatalf("%d of 8 clients starved under reuseport serving", res.Starved)
+	}
+	st := srv.Stats()
+	if st.Accepted != 8 || st.SentPkts == 0 || st.AckedPkts == 0 {
+		t.Fatalf("accepted=%d sent=%d acked=%d", st.Accepted, st.SentPkts, st.AckedPkts)
+	}
+	if st.InboxDrops != 0 {
+		t.Fatalf("owned-socket mode shed %d inbox messages; it has no inboxes", st.InboxDrops)
+	}
+	for i, d := range st.InboxDropsPerShard {
+		if d != 0 {
+			t.Fatalf("shard %d reports %d sheds in owned-socket mode", i, d)
+		}
+	}
+}
+
+// TestMultiServerShardsOverridePolicy pins the explicit Shards policy:
+// the 8-shard cap applies only to the default, an explicit value above
+// it is honored as given, and oversubscribing GOMAXPROCS is flagged in
+// stats rather than silently clamped.
+func TestMultiServerShardsOverridePolicy(t *testing.T) {
+	conn := listenUDPTB(t)
+	defer conn.Close()
+	base := MultiConfig{
+		QA:  core.Params{C: 15_000, Kmax: 2, MaxLayers: 6, StartupSec: 0.2},
+		RAP: rap.Config{PacketSize: 512, InitialRTT: 0.02, MaxRate: 30_000},
+	}
+	want := runtime.GOMAXPROCS(0) + 3
+	if want < 9 {
+		want = 9 // also prove the old silent cap of 8 is gone
+	}
+	cfg := base
+	cfg.Shards = want
+	srv, err := NewMultiServer(conn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(srv.shards); got != want {
+		t.Fatalf("explicit Shards=%d built %d shards (old code clamped at 8)", want, got)
+	}
+	if srv.Stats().ShardsOverCPU == 0 {
+		t.Fatalf("Shards=%d > GOMAXPROCS=%d not flagged in ShardsOverCPU", want, runtime.GOMAXPROCS(0))
+	}
+	def, err := NewMultiServer(conn, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(def.shards); got != DefaultShards() {
+		t.Fatalf("default built %d shards, want DefaultShards()=%d", got, DefaultShards())
+	}
+	if def.Stats().ShardsOverCPU != 0 {
+		t.Fatal("default shard count flagged as oversubscribed")
 	}
 }
 

@@ -92,6 +92,14 @@ type session struct {
 	nextSend float64 // next paced transmission instant
 	lastRecv float64 // last ack/req arrival, for idle expiry
 	deadline float64 // stream end
+
+	// Pacing-wheel linkage (intrusive, zero-alloc: the wheel's slot
+	// lists run through these fields, owned by the shard's pacer) and
+	// the session's index in the shard's order slice (swap-remove).
+	wnext, wprev *session
+	wslot        int32 // wheelNone, wheelImminent, or a level slot
+	wtick        int64 // absolute scheduled wheel tick (valid when queued)
+	orderIdx     int
 }
 
 // newSession builds a stream for addr. qa must already be validated
@@ -123,6 +131,7 @@ func newSession(addr netip.AddrPort, qa core.Params, rcfg rap.Config, payload []
 		lastStep:    now,
 		nextSend:    now,
 		lastRecv:    now,
+		wslot:       wheelNone,
 	}, nil
 }
 
@@ -174,7 +183,18 @@ func (st *session) buildPacket(now float64, buf []byte) int {
 	if layer >= 0 && layer < len(st.sentByLayer) {
 		st.sentByLayer[layer]++
 	}
-	st.nextSend = now + st.snd.IPG()
+	// Advance the pace from the *scheduled* instant, not the actual
+	// one, so lateness (timer coalescing at the shard sweep, a long
+	// inbox drain, a descheduled goroutine) is repaid by temporarily
+	// closer spacing instead of silently sagging below the target rate.
+	// Debt is capped at sendBurst gaps: a long stall earns a bounded
+	// catch-up burst, never an unbounded line-rate blast.
+	ipg := st.snd.IPG()
+	base := st.nextSend
+	if floor := now - float64(sendBurst)*ipg; base < floor {
+		base = floor
+	}
+	st.nextSend = base + ipg
 	n, err := EncodeData(buf, DataHeader{
 		Seq:        seq,
 		Layer:      uint8(layer),

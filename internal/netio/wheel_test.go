@@ -1,0 +1,516 @@
+package netio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"qav/internal/core"
+	"qav/internal/rap"
+)
+
+func wtSess() *session { return &session{wslot: wheelNone} }
+
+// collectImminent drains the imminent list into a slice (test helper).
+func collectImminent(w *timingWheel) []*session {
+	var out []*session
+	for st := w.imminent; st != nil; st = st.wnext {
+		out = append(out, st)
+	}
+	return out
+}
+
+func TestWheelFiresAtScheduledTick(t *testing.T) {
+	w := &timingWheel{}
+	st := wtSess()
+	w.schedule(st, 5)
+	if st.wslot != 5 || w.n != 1 {
+		t.Fatalf("scheduled slot=%d n=%d, want slot 5 n 1", st.wslot, w.n)
+	}
+	w.advance(4)
+	if w.imminent != nil {
+		t.Fatal("fired before its tick")
+	}
+	w.advance(5)
+	if st.wslot != wheelImminent || w.imminent != st {
+		t.Fatalf("not imminent at its tick: slot=%d", st.wslot)
+	}
+	if w.n != 0 {
+		t.Fatalf("resident count %d after fire, want 0", w.n)
+	}
+}
+
+func TestWheelCascadeAcrossEpoch(t *testing.T) {
+	w := &timingWheel{}
+	st := wtSess()
+	w.schedule(st, 300) // beyond level 0's 255-tick horizon
+	if st.wslot < wheelSlots {
+		t.Fatalf("tick 300 filed in level 0 slot %d", st.wslot)
+	}
+	w.advance(299)
+	if st.wslot == wheelImminent {
+		t.Fatal("fired a tick early")
+	}
+	if w.cascades != 1 {
+		t.Fatalf("cascades=%d crossing the epoch, want 1", w.cascades)
+	}
+	if st.wslot < 0 || st.wslot >= wheelSlots {
+		t.Fatalf("not cascaded into level 0: slot %d", st.wslot)
+	}
+	w.advance(300)
+	if st.wslot != wheelImminent {
+		t.Fatal("did not fire at its tick after cascading")
+	}
+}
+
+func TestWheelWraparoundHighTicks(t *testing.T) {
+	// Slot indices are tick & mask: behavior must be identical when the
+	// absolute tick is far beyond several full wheel revolutions.
+	w := &timingWheel{}
+	w.advance(1 << 30)
+	base := w.cur
+	near, far := wtSess(), wtSess()
+	w.schedule(near, base+7)
+	w.schedule(far, base+wheelSlots+13)
+	w.advance(base + 6)
+	if near.wslot == wheelImminent {
+		t.Fatal("near fired early")
+	}
+	w.advance(base + 7)
+	if near.wslot != wheelImminent || far.wslot == wheelImminent {
+		t.Fatalf("near=%d far=%d after tick %d", near.wslot, far.wslot, base+7)
+	}
+	w.advance(base + wheelSlots + 13)
+	if far.wslot != wheelImminent {
+		t.Fatal("far did not fire at its tick")
+	}
+}
+
+func TestWheelSpanClampRefires(t *testing.T) {
+	// A wake beyond the two-level horizon is clamped to the last
+	// reachable tick: it must fire there (so the owner can re-file it),
+	// not alias into a slot of the current epoch.
+	w := &timingWheel{}
+	w.advance(1000)
+	st := wtSess()
+	w.schedule(st, w.cur+10*wheelSpanTicks)
+	max := (w.cur &^ int64(wheelMask)) + wheelSpanTicks - 1
+	if st.wtick != max {
+		t.Fatalf("clamped to tick %d, want span edge %d", st.wtick, max)
+	}
+	w.advance(max - 1)
+	if st.wslot == wheelImminent {
+		t.Fatal("fired before the span edge")
+	}
+	w.advance(max)
+	if st.wslot != wheelImminent {
+		t.Fatal("clamped timer never fired at the span edge")
+	}
+}
+
+func TestWheelUnlinkEverywhere(t *testing.T) {
+	w := &timingWheel{}
+	a, b, c := wtSess(), wtSess(), wtSess()
+	// Same level-0 slot: exercises middle-of-list unlink.
+	w.schedule(a, 5)
+	w.schedule(b, 5)
+	w.schedule(c, 5)
+	w.unlink(b)
+	if w.n != 2 || b.wslot != wheelNone {
+		t.Fatalf("after unlink: n=%d slot=%d", w.n, b.wslot)
+	}
+	w.unlink(b) // idempotent
+	if w.n != 2 {
+		t.Fatalf("double unlink corrupted count: n=%d", w.n)
+	}
+	w.advance(5)
+	if got := len(collectImminent(w)); got != 2 {
+		t.Fatalf("%d sessions fired, want 2 (b was cancelled)", got)
+	}
+	// Unlink from level 1 and from the imminent list.
+	d := wtSess()
+	w.schedule(d, w.cur+1000)
+	w.unlink(d)
+	if w.n != 0 || d.wslot != wheelNone {
+		t.Fatalf("level-1 unlink: n=%d slot=%d", w.n, d.wslot)
+	}
+	w.unlink(a)
+	if a.wslot != wheelNone || len(collectImminent(w)) != 1 {
+		t.Fatal("imminent unlink failed")
+	}
+}
+
+func TestWheelEmptyJumpAndGiantAdvance(t *testing.T) {
+	w := &timingWheel{}
+	w.advance(1 << 40) // empty: O(1) jump, must not iterate 2^40 ticks
+	if w.cur != 1<<40 {
+		t.Fatalf("cur=%d", w.cur)
+	}
+	// Populate both levels, then advance beyond the whole span at once.
+	ss := make([]*session, 6)
+	for i := range ss {
+		ss[i] = wtSess()
+		w.schedule(ss[i], w.cur+1+int64(i)*2000)
+	}
+	w.advance(w.cur + wheelSpanTicks + 5)
+	for i, st := range ss {
+		if st.wslot != wheelImminent {
+			t.Fatalf("session %d (tick %d) not fired by a whole-span advance", i, st.wtick)
+		}
+	}
+	if w.n != 0 {
+		t.Fatalf("n=%d after firing everything", w.n)
+	}
+}
+
+func TestWheelPlacePastGoesImminent(t *testing.T) {
+	w := &timingWheel{}
+	w.advance(100)
+	st := wtSess()
+	w.place(st, wheelTickStart(50)) // already past
+	if st.wslot != wheelImminent {
+		t.Fatalf("past wake filed in slot %d, want imminent", st.wslot)
+	}
+}
+
+func TestWheelNextWake(t *testing.T) {
+	w := &timingWheel{}
+	if !math.IsInf(w.nextWake(), 1) {
+		t.Fatal("empty wheel must report +Inf")
+	}
+	w.advance(10)
+	st := wtSess()
+	w.schedule(st, 17)
+	if got, want := w.nextWake(), wheelTickStart(17); got != want {
+		t.Fatalf("nextWake=%v want %v", got, want)
+	}
+	w.unlink(st)
+	w.schedule(st, w.cur+10*wheelScanSlots)
+	if !math.IsInf(w.nextWake(), 1) {
+		t.Fatal("beyond the scan horizon must report +Inf (sweep covers it)")
+	}
+}
+
+// discardBatch is a BatchConn that swallows writes: pacing tests drive
+// shards synchronously and need no real peer.
+type discardBatch struct{}
+
+func (discardBatch) ReadBatch(ms []Message) (int, error)  { return 0, nil }
+func (discardBatch) WriteBatch(ms []Message) (int, error) { return len(ms), nil }
+func (discardBatch) SetReadDeadline(time.Time) error      { return nil }
+func (discardBatch) Kind() BatchKind                      { return BatchGeneric }
+
+// pacerHarness is a single-shard MultiServer driven synchronously
+// (Serve never runs): handle and pump are called directly with
+// explicit instants, writes go to a discard sink.
+func pacerHarness(t testing.TB, pk PacerKind, cfg MultiConfig) *shard {
+	t.Helper()
+	conn := listenUDPTB(t)
+	t.Cleanup(func() { conn.Close() })
+	cfg.Shards = 1
+	cfg.Pacer = pk
+	if cfg.QA.C == 0 {
+		cfg.QA = core.Params{C: 15_000, Kmax: 2, MaxLayers: 2, StartupSec: 0.1}
+	}
+	if cfg.RAP.PacketSize == 0 {
+		cfg.RAP = rap.Config{PacketSize: 512, InitialRTT: 0.02, MaxRate: 40_000}
+	}
+	srv, err := NewMultiServer(conn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := srv.shards[0]
+	sh.writer = discardBatch{}
+	return sh
+}
+
+func synthAddr(i int) netip.AddrPort {
+	return netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}), uint16(20000+i%1000))
+}
+
+// TestPacerDifferentialRandomized drives a scan-paced and a
+// wheel-paced shard through the same randomized workload — joins,
+// re-requests, full and partial acks, silence, and pumps at irregular
+// instants including multi-second and whole-span jumps — and asserts
+// they make bit-identical decisions throughout: same packets written
+// per pump, same live session set, and per-session identical send
+// counts and exact next-send instants.
+func TestPacerDifferentialRandomized(t *testing.T) {
+	cfg := MultiConfig{
+		Batch:       1024, // never the binding constraint: due-set order must not matter
+		IdleTimeout: 700 * time.Millisecond,
+		MaxStream:   time.Hour,
+	}
+	scan := pacerHarness(t, PacerScan, cfg)
+	wheel := pacerHarness(t, PacerWheel, cfg)
+	both := [2]*shard{scan, wheel}
+
+	rng := rand.New(rand.NewSource(7))
+	now := 0.0
+	const maxClients = 48
+	handleBoth := func(m inMsg) {
+		for _, sh := range both {
+			sh.handle(m, now)
+		}
+	}
+	ackSome := func(st *session, frac float64) {
+		// Ack decisions are generated once (from the scan shard's
+		// state) and applied to both, so the servers see identical
+		// input even while we verify their states match.
+		for seq := st.snd.Acked + st.snd.Lost; seq < st.snd.Sent; seq++ {
+			if frac < 1 && rng.Float64() >= frac {
+				continue
+			}
+			m := inMsg{addr: st.addr, kind: KindAck, ack: Ack{AckSeq: seq, NackLayer: NoNack}}
+			if rng.Intn(20) == 0 {
+				m.ack.NackLayer = 0
+				m.ack.NackOff = int64(rng.Intn(40)) * 512
+				m.ack.NackLen = 512
+			}
+			handleBoth(m)
+		}
+	}
+	compare := func(step int) {
+		t.Helper()
+		if len(scan.sessions) != len(wheel.sessions) {
+			t.Fatalf("step %d: %d vs %d live sessions", step, len(scan.sessions), len(wheel.sessions))
+		}
+		for addr, a := range scan.sessions {
+			b := wheel.sessions[addr]
+			if b == nil {
+				t.Fatalf("step %d: %v live under scan, expired under wheel", step, addr)
+			}
+			if a.snd.Sent != b.snd.Sent {
+				t.Fatalf("step %d %v: sent %d vs %d", step, addr, a.snd.Sent, b.snd.Sent)
+			}
+			if a.nextSend != b.nextSend {
+				t.Fatalf("step %d %v: nextSend %.17g vs %.17g", step, addr, a.nextSend, b.nextSend)
+			}
+			if a.deadline != b.deadline {
+				t.Fatalf("step %d %v: deadline %.17g vs %.17g", step, addr, a.deadline, b.deadline)
+			}
+		}
+	}
+
+	live := []netip.AddrPort{}
+	nextID := 0
+	for step := 0; step < 4000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 3 && len(live) < maxClients: // join
+			addr := synthAddr(nextID)
+			nextID++
+			live = append(live, addr)
+			handleBoth(inMsg{addr: addr, kind: KindReq, durMs: uint32(100 + rng.Intn(2500))})
+		case op == 3 && len(live) > 0: // re-request (deadline may move either way)
+			handleBoth(inMsg{addr: live[rng.Intn(len(live))], kind: KindReq, durMs: uint32(50 + rng.Intn(2500))})
+		case op < 7 && len(live) > 0: // ack a random client, fully or partially
+			if st := scan.sessions[live[rng.Intn(len(live))]]; st != nil {
+				frac := 1.0
+				if rng.Intn(3) == 0 {
+					frac = rng.Float64()
+				}
+				ackSome(st, frac)
+			}
+		}
+		// Advance time: usually sub-sweep steps, sometimes a coalesced
+		// sleep, rarely a stall past idle expiry or a whole-span jump.
+		switch r := rng.Intn(100); {
+		case r < 80:
+			now += 0.0001 + rng.Float64()*0.005
+		case r < 95:
+			now += rng.Float64() * 0.08
+		case r < 99:
+			now += 1 + rng.Float64() // expires idle clients
+		default:
+			now += 70 // beyond the wheel's ~69 s two-level span
+		}
+		ks, _ := scan.pump(now)
+		kw, _ := wheel.pump(now)
+		if ks != kw {
+			t.Fatalf("step %d (now=%.6f): scan wrote %d packets, wheel wrote %d", step, now, ks, kw)
+		}
+		compare(step)
+		// Forget expired clients so the live list doesn't grow stale.
+		if step%50 == 0 {
+			kept := live[:0]
+			for _, a := range live {
+				if scan.sessions[a] != nil {
+					kept = append(kept, a)
+				}
+			}
+			live = kept
+		}
+	}
+	if scan.srv.expired.Load() == 0 || scan.srv.sent.Load() == 0 {
+		t.Fatalf("workload too tame: expired=%d sent=%d", scan.srv.expired.Load(), scan.srv.sent.Load())
+	}
+}
+
+// TestShardStallRecoveryBurst pins the catch-up fix: a shard that
+// stalls (descheduled goroutine, coalesced timer) and then resumes
+// with wakeups sparser than the inter-packet gap must still deliver
+// the session's target rate, repaying lateness with bounded bursts
+// instead of sagging to one packet per wakeup forever.
+func TestShardStallRecoveryBurst(t *testing.T) {
+	sh := pacerHarness(t, PacerWheel, MultiConfig{IdleTimeout: time.Hour})
+	addr := synthAddr(1)
+	now := 0.0
+	sh.handle(inMsg{addr: addr, kind: KindReq, durMs: 3_600_000}, now)
+	st := sh.sessions[addr]
+	ackAll := func() {
+		for seq := st.snd.Acked + st.snd.Lost; seq < st.snd.Sent; seq++ {
+			sh.handle(inMsg{addr: addr, kind: KindAck, ack: Ack{AckSeq: seq, NackLayer: NoNack}}, now)
+		}
+	}
+	// Warm up at tight wakeups until RAP sits at MaxRate.
+	for i := 0; i < 400; i++ {
+		now += 0.005
+		sh.pump(now)
+		ackAll()
+	}
+	// Stall for a full second, then resume with 20 ms wakeups — sparser
+	// than the ~12.8 ms gap at MaxRate (40 kB/s / 512 B = 78 pkt/s), so
+	// without catch-up the ceiling would be 50 pkt/s.
+	now += 1.0
+	for i := 0; i < 50; i++ { // settle after the stall
+		now += 0.02
+		sh.pump(now)
+		ackAll()
+	}
+	sentBefore := st.snd.Sent
+	start := now
+	for now-start < 2.0 {
+		now += 0.02
+		sh.pump(now)
+		ackAll()
+	}
+	rate := float64(st.snd.Sent-sentBefore) / (now - start)
+	const target = 40_000.0 / 512.0
+	if rate < 0.85*target {
+		t.Fatalf("post-stall rate %.1f pkt/s at 20 ms wakeups, want ≈%.1f (one-per-wakeup ceiling would be 50)", rate, target)
+	}
+	if rate > 1.15*target {
+		t.Fatalf("post-stall rate %.1f pkt/s overshoots the %.1f target: catch-up burst unbounded?", rate, target)
+	}
+}
+
+// addIdle registers n far-future sessions on the shard: minimal bare
+// structs (the pacers read only the timing fields for never-due
+// sessions), so a 100k population is cheap to build.
+func addIdle(sh *shard, n int, now float64) {
+	for i := 0; i < n; i++ {
+		st := &session{
+			addr:     synthAddr(100_000 + i),
+			nextSend: 1e9,
+			deadline: 1e9,
+			lastRecv: now,
+			wslot:    wheelNone,
+			orderIdx: len(sh.order),
+		}
+		sh.order = append(sh.order, st)
+		sh.pacer.add(sh, st, now)
+	}
+}
+
+// pumpCost measures the mean wall time of a shard wakeup with nDue
+// actively paced sessions and nIdle never-due ones.
+func pumpCost(t testing.TB, pk PacerKind, nIdle int) time.Duration {
+	sh := pacerHarness(t, pk, MultiConfig{IdleTimeout: time.Hour, MaxStream: 24 * time.Hour})
+	now := 0.0
+	const nDue = 8
+	addrs := make([]netip.AddrPort, nDue)
+	for i := range addrs {
+		addrs[i] = synthAddr(i)
+		sh.handle(inMsg{addr: addrs[i], kind: KindReq, durMs: 3_600_000}, now)
+	}
+	ackAll := func() {
+		for _, a := range addrs {
+			st := sh.sessions[a]
+			for seq := st.snd.Acked + st.snd.Lost; seq < st.snd.Sent; seq++ {
+				sh.handle(inMsg{addr: a, kind: KindAck, ack: Ack{AckSeq: seq, NackLayer: NoNack}}, now)
+			}
+		}
+	}
+	for i := 0; i < 200; i++ { // warm the due set to steady state
+		now += 0.005
+		sh.pump(now)
+		ackAll()
+	}
+	addIdle(sh, nIdle, now)
+	iters := 200
+	if nIdle >= 50_000 {
+		iters = 100
+	}
+	for i := 0; i < 20; i++ { // settle the idle population's first fire
+		now += 0.005
+		sh.pump(now)
+		ackAll()
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		now += 0.005
+		sh.pump(now)
+	}
+	el := time.Since(start)
+	ackAll()
+	return el / time.Duration(iters)
+}
+
+// TestWheelPumpCostFlatInIdlePopulation is the O(due) acceptance
+// check: growing the idle population 1k -> 100k must not grow the
+// wheel's per-wakeup cost beyond noise, while the scan reference grows
+// roughly linearly (sanity that the workload actually distinguishes
+// the two).
+func TestWheelPumpCostFlatInIdlePopulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts per-wakeup cost")
+	}
+	w1 := pumpCost(t, PacerWheel, 1_000)
+	w100 := pumpCost(t, PacerWheel, 100_000)
+	s1 := pumpCost(t, PacerScan, 1_000)
+	s100 := pumpCost(t, PacerScan, 100_000)
+	t.Logf("per-wakeup: wheel 1k=%v 100k=%v (×%.1f)  scan 1k=%v 100k=%v (×%.1f)",
+		w1, w100, float64(w100)/float64(w1), s1, s100, float64(s100)/float64(s1))
+	if ratio := float64(w100) / float64(w1); ratio > 6 {
+		t.Errorf("wheel per-wakeup cost grew ×%.1f from 1k to 100k idle sessions, want flat", ratio)
+	}
+	if ratio := float64(s100) / float64(s1); ratio < 6 {
+		t.Errorf("scan per-wakeup cost grew only ×%.1f across 100× population: workload does not exercise the scan floor", ratio)
+	}
+	if w100 >= s100 {
+		t.Errorf("wheel (%v) not cheaper than scan (%v) at 100k idle", w100, s100)
+	}
+}
+
+func BenchmarkPumpIdleScaling(b *testing.B) {
+	for _, pk := range []PacerKind{PacerScan, PacerWheel} {
+		for _, nIdle := range []int{1_000, 10_000, 100_000} {
+			b.Run(fmt.Sprintf("%s/idle%d", pk, nIdle), func(b *testing.B) {
+				sh := pacerHarness(b, pk, MultiConfig{IdleTimeout: time.Hour, MaxStream: 24 * time.Hour})
+				now := 0.0
+				addr := synthAddr(1)
+				sh.handle(inMsg{addr: addr, kind: KindReq, durMs: 3_600_000}, now)
+				st := sh.sessions[addr]
+				for i := 0; i < 200; i++ {
+					now += 0.005
+					sh.pump(now)
+					for seq := st.snd.Acked + st.snd.Lost; seq < st.snd.Sent; seq++ {
+						sh.handle(inMsg{addr: addr, kind: KindAck, ack: Ack{AckSeq: seq, NackLayer: NoNack}}, now)
+					}
+				}
+				addIdle(sh, nIdle, now)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					now += 0.005
+					sh.pump(now)
+				}
+			})
+		}
+	}
+}

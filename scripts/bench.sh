@@ -16,9 +16,12 @@
 #
 # After the simulation benchmarks, runs the serving-path soak: qaload
 # drives 1000 concurrent loopback clients against an in-process
-# MultiServer (batched-vs-generic I/O A/B included) and archives
+# MultiServer in its default configuration (reuseport sockets where
+# available, timing-wheel pacer, mmsg batch) and archives
 # BENCH_SERVE.json — goodput, Jain fairness, allocs/packet, and heap
-# stability, asserted by -soak.
+# stability, asserted by -soak (which also requires zero inbox sheds in
+# reuseport mode). -ab records the generic-I/O, scan-pacer, and
+# demux-socket legs alongside for the A/B pairs.
 set -eu
 cd "$(dirname "$0")/.."
 go run ./cmd/qabench -out BENCH_PR8.json -report BENCH_REPORT.json "$@"
